@@ -1,0 +1,54 @@
+//! The paper's four-step JGRE analysis methodology (§III, Figure 1).
+//!
+//! The pipeline runs against the synthetic AOSP code model from
+//! [`jgre_corpus`] and re-derives every §IV statistic by graph analysis —
+//! it never reads the spec's vulnerability flags:
+//!
+//! 1. [`IpcMethodExtractor`] — finds every IPC method: Java system
+//!    services registered through `ServiceManager.addService` /
+//!    `publishBinderService`, the 5 native services registered through the
+//!    C++ `ServiceManager::addService`, and app services exported through
+//!    abstract base classes (`asBinder()` interfaces).
+//! 2. [`JgrEntryExtractor`] — walks the native call graph to
+//!    `IndirectReferenceTable::Add` (147 paths; 67 init-only, filtered),
+//!    then lifts the surviving JNI entry points to Java methods through
+//!    the `registerNativeMethods` data.
+//! 3. [`VulnerableIpcDetector`] — builds per-IPC-method call graphs
+//!    (direct + Handler-indirect edges), marks risky methods (reachable
+//!    JGR entry, or Binder/IInterface parameters — the
+//!    `readStrongBinder` special case), applies the four sift rules, and
+//!    filters by the PScout-style permission map (signature-level
+//!    permissions are unreachable for third-party apps).
+//! 4. [`JgreVerifier`] — dynamically tests each risky interface against
+//!    the simulated device: fire IPC requests, trigger GC periodically
+//!    (the DDMS step), and confirm whether the JGR footprint grows without
+//!    bound.
+//!
+//! # Example
+//!
+//! ```
+//! use jgre_analysis::Pipeline;
+//! use jgre_corpus::{spec::AospSpec, CodeModel};
+//!
+//! let spec = AospSpec::android_6_0_1();
+//! let model = CodeModel::synthesize(&spec);
+//! let report = Pipeline::new(model).run_static();
+//! assert_eq!(report.native_paths.total_paths, 147);
+//! assert_eq!(report.native_paths.init_only_paths, 67);
+//! ```
+
+mod codegen;
+mod detect;
+mod extract_ipc;
+mod extract_jgr;
+mod pipeline;
+mod report;
+mod verify;
+
+pub use codegen::{generate_test_case, GeneratedTestCase};
+pub use detect::{DetectorOutput, RiskyInterface, SiftReason, VulnerableIpcDetector};
+pub use extract_ipc::{IpcMethod, IpcMethodExtractor, ServiceKind};
+pub use extract_jgr::{JgrEntryExtractor, JgrEntrySets, NativePathAnalysis};
+pub use pipeline::Pipeline;
+pub use report::{AnalysisReport, ConfirmedVulnerability, VerificationStatus};
+pub use verify::{JgreVerifier, VerifierConfig};

@@ -1,0 +1,78 @@
+//! Error type for runtime operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::RefKind;
+
+/// Errors returned by the simulated ART runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ArtError {
+    /// A reference table reached its capacity. For the global table this is
+    /// the JGRE condition: the runtime transitions to
+    /// [`RuntimeState::Aborted`](crate::RuntimeState::Aborted).
+    TableOverflow {
+        /// Which table overflowed.
+        kind: RefKind,
+        /// The capacity that was exceeded.
+        capacity: usize,
+    },
+    /// An indirect reference did not resolve: wrong kind, out of range,
+    /// stale serial (slot was recycled), or already deleted.
+    InvalidIndirectRef {
+        /// Which table was addressed.
+        kind: RefKind,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// An object handle referred to a freed (collected) heap slot.
+    StaleObjRef,
+    /// The runtime has aborted (JGR table overflowed earlier); no further
+    /// operations are possible, mirroring a dead Android process.
+    RuntimeAborted,
+    /// A JNI environment id did not name a live attached thread.
+    UnknownEnv,
+    /// A local-frame cookie was popped out of order.
+    FrameMismatch,
+}
+
+impl fmt::Display for ArtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtError::TableOverflow { kind, capacity } => {
+                write!(f, "{kind} reference table overflow (max={capacity})")
+            }
+            ArtError::InvalidIndirectRef { kind, reason } => {
+                write!(f, "invalid {kind} indirect reference: {reason}")
+            }
+            ArtError::StaleObjRef => write!(f, "object handle refers to a collected object"),
+            ArtError::RuntimeAborted => write!(f, "runtime has aborted"),
+            ArtError::UnknownEnv => write!(f, "unknown JNI environment"),
+            ArtError::FrameMismatch => write!(f, "local reference frame popped out of order"),
+        }
+    }
+}
+
+impl Error for ArtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArtError::TableOverflow {
+            kind: RefKind::Global,
+            capacity: 51_200,
+        };
+        assert_eq!(e.to_string(), "global reference table overflow (max=51200)");
+        assert!(ArtError::StaleObjRef.to_string().contains("collected"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + Error>() {}
+        assert_traits::<ArtError>();
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the reference-table and heap invariants.
+
+use jgre_art::{ArtError, Heap, IndirectRef, IndirectRefTable, RefKind, Runtime, RuntimeState};
+use jgre_sim::{Pid, SimClock, TraceSink};
+use proptest::prelude::*;
+
+/// A random sequence of table operations, interpreted against both the real
+/// table and a naive model (a `Vec<Option<ObjRef>>` keyed by handed-out
+/// references).
+#[derive(Debug, Clone)]
+enum Op {
+    Add,
+    /// Remove the n-th (mod len) still-live reference we hold.
+    Remove(usize),
+    /// Attempt to remove a reference that was already removed.
+    RemoveStale(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::Add),
+        2 => any::<usize>().prop_map(Op::Remove),
+        1 => any::<usize>().prop_map(Op::RemoveStale),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The table's `len()` always equals live adds minus removes, no stale
+    /// reference ever resolves, and the high watermark is monotone.
+    #[test]
+    fn irt_len_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = Heap::new();
+        let mut table = IndirectRefTable::new(RefKind::Global, 1024);
+        let mut live: Vec<IndirectRef> = Vec::new();
+        let mut dead: Vec<IndirectRef> = Vec::new();
+        let mut watermark = 0usize;
+
+        for op in ops {
+            match op {
+                Op::Add => {
+                    let obj = heap.alloc("x");
+                    let iref = table.add(obj).unwrap();
+                    live.push(iref);
+                }
+                Op::Remove(n) => {
+                    if !live.is_empty() {
+                        let iref = live.remove(n % live.len());
+                        table.remove(iref).unwrap();
+                        dead.push(iref);
+                    }
+                }
+                Op::RemoveStale(n) => {
+                    if !dead.is_empty() {
+                        let iref = dead[n % dead.len()];
+                        prop_assert!(table.remove(iref).is_err(),
+                            "stale reference must not resolve");
+                    }
+                }
+            }
+            prop_assert_eq!(table.len(), live.len());
+            watermark = watermark.max(live.len());
+            prop_assert_eq!(table.high_watermark(), watermark);
+            // Every live reference still resolves.
+            for &iref in &live {
+                prop_assert!(table.get(iref).is_ok());
+            }
+        }
+        prop_assert_eq!(table.iter().count(), live.len());
+    }
+
+    /// Filling a runtime to capacity aborts on exactly the (cap+1)-th add,
+    /// regardless of interleaved deletes.
+    #[test]
+    fn runtime_aborts_exactly_at_cap(cap in 1usize..64, churn in 0usize..32) {
+        let mut rt = Runtime::with_global_capacity(
+            Pid::new(1), SimClock::new(), TraceSink::disabled(), cap);
+        // Churn: add/delete pairs never bring us closer to the cap.
+        for _ in 0..churn {
+            let o = rt.alloc("churn");
+            let r = rt.add_global(o).unwrap();
+            rt.delete_global(r).unwrap();
+        }
+        for _ in 0..cap {
+            let o = rt.alloc("fill");
+            rt.add_global(o).unwrap();
+        }
+        prop_assert_eq!(rt.state(), RuntimeState::Running);
+        let o = rt.alloc("overflow");
+        let overflowed = matches!(rt.add_global(o), Err(ArtError::TableOverflow { .. }));
+        prop_assert!(overflowed);
+        prop_assert_eq!(rt.state(), RuntimeState::Aborted);
+    }
+
+    /// GC preserves exactly the pinned objects: after any sequence of
+    /// alloc/retain/release, collection frees precisely the unpinned ones.
+    #[test]
+    fn gc_frees_exactly_unpinned(pins in proptest::collection::vec(any::<bool>(), 1..100)) {
+        let mut rt = Runtime::new(Pid::new(1), SimClock::new(), TraceSink::disabled());
+        let objs: Vec<_> = pins.iter().map(|&pinned| {
+            let o = rt.alloc("obj");
+            if pinned {
+                rt.retain(o).unwrap();
+            }
+            o
+        }).collect();
+        let stats = rt.collect_garbage();
+        let expected_freed = pins.iter().filter(|p| !**p).count();
+        prop_assert_eq!(stats.freed_objects, expected_freed);
+        for (o, pinned) in objs.iter().zip(&pins) {
+            prop_assert_eq!(rt.is_live(*o), *pinned);
+        }
+    }
+
+    /// Local frames always restore the pre-frame count, however many locals
+    /// each nested frame creates.
+    #[test]
+    fn local_frames_restore_counts(frames in proptest::collection::vec(0usize..20, 1..8)) {
+        let mut rt = Runtime::new(Pid::new(1), SimClock::new(), TraceSink::disabled());
+        let env = rt.attach_thread(jgre_sim::Tid::new(1));
+        let mut cookies = Vec::new();
+        let mut expected = vec![0usize];
+        for &n in &frames {
+            cookies.push(rt.push_local_frame(env).unwrap());
+            for _ in 0..n {
+                let o = rt.alloc("local");
+                rt.add_local(env, o).unwrap();
+            }
+            expected.push(rt.local_count(env).unwrap());
+        }
+        for cookie in cookies.into_iter().rev() {
+            expected.pop();
+            rt.pop_local_frame(env, cookie).unwrap();
+            prop_assert_eq!(rt.local_count(env).unwrap(), *expected.last().unwrap());
+        }
+        prop_assert_eq!(rt.local_count(env).unwrap(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Attack drivers and workload generators for the JGRE experiments.
+//!
+//! * [`AttackVector`] — one exploitable interface with everything a
+//!   malicious app needs to drive it: the registered service name, the
+//!   permissions to declare, and whether the `"android"` package spoof is
+//!   required (`enqueueToast`).
+//! * [`run_exhaustion_attack`] — Code-Snippet 2 as a harness: fire IPC
+//!   requests in a loop until the victim's runtime aborts, sampling the
+//!   JGR curve (Figure 3) and per-call execution times (Figures 5/6).
+//! * [`BenignWorkload`] — the MonkeyRunner methodology of Observation 1:
+//!   install the top-N Play apps, run each for two minutes, background it,
+//!   and sample `system_server`'s JGR table and the process count
+//!   (Figure 4).
+//! * [`run_interleaved`] — an event-driven interleaver mixing attackers
+//!   and benign apps on one timeline (Figures 8/9 and the defense
+//!   experiments).
+//!
+//! # Example
+//!
+//! ```
+//! use jgre_attack::AttackVector;
+//! use jgre_corpus::spec::AospSpec;
+//!
+//! let spec = AospSpec::android_6_0_1();
+//! let vectors = AttackVector::service_vectors(&spec);
+//! assert_eq!(vectors.len(), 54);
+//! let toast = vectors.iter().find(|v| v.method == "enqueueToast").unwrap();
+//! assert!(toast.spoof_system_package);
+//! ```
+
+mod benign;
+mod interleave;
+mod vector;
+
+pub use benign::{BenignSample, BenignWorkload, BenignWorkloadConfig};
+pub use interleave::{run_interleaved, Actor, ActorKind, InterleaveStats};
+pub use vector::{run_exhaustion_attack, AttackSample, AttackVector, ExhaustionResult};

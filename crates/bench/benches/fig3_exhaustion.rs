@@ -1,0 +1,60 @@
+//! Figure 3: JGR growth curves for all 54 vulnerable interfaces at the
+//! real 51200-entry capacity, plus a single-exhaustion kernel benchmark.
+
+use criterion::{criterion_group, Criterion};
+use jgre_attack::{run_exhaustion_attack, AttackVector};
+use jgre_bench::{artifacts_enabled, write_artifact};
+use jgre_core::{experiments, ExperimentScale};
+use jgre_corpus::spec::AospSpec;
+use jgre_framework::{System, SystemConfig};
+
+fn generate_artifacts() {
+    if !artifacts_enabled() {
+        return;
+    }
+    let fig3 = experiments::fig3(ExperimentScale::paper());
+    write_artifact("fig3_exhaustion", &fig3, &fig3.render());
+    // Paper shape checks, loud in the bench log.
+    assert_eq!(fig3.series[0].interface, "audio.startWatchingRoutes");
+    assert_eq!(
+        fig3.series.last().expect("54 series").interface,
+        "notification.enqueueToast"
+    );
+    assert!(
+        (80.0..130.0).contains(&fig3.fastest_secs()),
+        "fastest {}s",
+        fig3.fastest_secs()
+    );
+    assert!(
+        (1_500.0..2_100.0).contains(&fig3.slowest_secs()),
+        "slowest {}s",
+        fig3.slowest_secs()
+    );
+}
+
+fn bench_exhaustion(c: &mut Criterion) {
+    let spec = AospSpec::android_6_0_1();
+    let vector = AttackVector::service_vectors(&spec)
+        .into_iter()
+        .find(|v| v.service == "clipboard")
+        .expect("clipboard is vulnerable");
+    c.bench_function("exhaust_3200_entry_table", |b| {
+        b.iter(|| {
+            let mut system = System::boot_with(SystemConfig {
+                jgr_capacity: Some(3_200),
+                ..SystemConfig::default()
+            });
+            run_exhaustion_attack(&mut system, &vector, 10_000, 400)
+        })
+    });
+}
+
+criterion_group!(benches, bench_exhaustion);
+
+fn main() {
+    generate_artifacts();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,58 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Each bench target in `benches/` does two jobs:
+//!
+//! 1. **regenerate the paper artifact** at paper scale (full 51200-entry
+//!    tables, 4000/12000 thresholds) and write it to `artifacts/` at the
+//!    workspace root — both a rendered `.txt` and the raw `.json`;
+//! 2. **measure the underlying kernels** with Criterion at quick scale, so
+//!    `cargo bench` also tracks the performance of the simulator and of
+//!    the defense's algorithms.
+
+use std::fs;
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Directory the artifacts land in: `<workspace>/artifacts`.
+pub fn artifact_dir() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    dir.pop(); // crates/
+    dir.pop(); // workspace root
+    dir.push("artifacts");
+    dir
+}
+
+/// Writes `artifacts/<name>.txt` (the rendered table/series) and
+/// `artifacts/<name>.json` (the raw data).
+///
+/// # Panics
+///
+/// Panics when the artifact directory cannot be created or written —
+/// a broken harness should fail loudly, not silently skip artifacts.
+pub fn write_artifact<T: Serialize>(name: &str, data: &T, rendered: &str) {
+    let dir = artifact_dir();
+    fs::create_dir_all(&dir).expect("create artifacts dir");
+    fs::write(dir.join(format!("{name}.txt")), rendered).expect("write rendered artifact");
+    let json = serde_json::to_string_pretty(data).expect("experiment structs serialise");
+    fs::write(dir.join(format!("{name}.json")), json).expect("write json artifact");
+    eprintln!("[artifact] {name}: {}", dir.join(name).display());
+}
+
+/// Whether paper-scale artifact generation is enabled. Set
+/// `JGRE_SKIP_ARTIFACTS=1` to time kernels only.
+pub fn artifacts_enabled() -> bool {
+    std::env::var_os("JGRE_SKIP_ARTIFACTS").is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_dir_is_inside_workspace() {
+        let dir = artifact_dir();
+        assert!(dir.ends_with("artifacts"));
+        assert!(dir.parent().unwrap().join("Cargo.toml").exists());
+    }
+}

@@ -1,0 +1,524 @@
+//! The simulated Binder kernel driver: nodes, routing, the transaction log,
+//! and death notification links.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use jgre_sim::{Pid, SimClock, SimTime, TraceSink, Uid};
+use serde::{Deserialize, Serialize};
+
+use crate::{BinderError, LatencyModel, Parcel};
+
+/// The Binder transaction buffer per process (1 MB on Android; a single
+/// transaction larger than this throws `TransactionTooLargeException`).
+pub const TRANSACTION_BUFFER_LIMIT: usize = 1024 * 1024;
+
+/// Identity of a binder node (a service endpoint or a callback object
+/// offered across process boundaries). Node ids are global, standing in
+/// for per-process handle tables, which the paper's mechanisms never rely
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Wraps a raw node number.
+    pub const fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw node number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node:{}", self.0)
+    }
+}
+
+/// One logged transaction — the record format the paper's defense stores in
+/// `/proc/jgre_ipc_log`: *"the related data of IPC calls on from_pid,
+/// to_pid, target_handle, to_node and timestamp"* (§V-B). We add the caller
+/// uid (the kernel knows it) and the interface/method pair, which the real
+/// system recovers from the transaction code.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IpcRecord {
+    /// When the transaction entered the driver.
+    pub at: SimTime,
+    /// Sending process.
+    pub from_pid: Pid,
+    /// Sending app uid — what the defender scores and kills by.
+    pub from_uid: Uid,
+    /// Receiving process (host of the target node).
+    pub to_pid: Pid,
+    /// Target node.
+    pub to_node: NodeId,
+    /// Interface descriptor, e.g. `"IClipboard"`.
+    pub interface: String,
+    /// Method name, e.g. `"addPrimaryClipChangedListener"`.
+    pub method: String,
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Code-execution-path tag for the transaction (0 for the common
+    /// path). §VI's extension: an attacker may drive one IPC method down
+    /// several execution paths with different timing; the instrumented
+    /// framework tags the path so the defender can classify calls by it.
+    pub path_id: u8,
+}
+
+impl IpcRecord {
+    /// The `IPCType` key of the paper's Algorithm 1: one scored bucket per
+    /// distinct interface/method pair.
+    pub fn ipc_type(&self) -> String {
+        format!("{}.{}", self.interface, self.method)
+    }
+
+    /// The path-classified key of the §VI extension: one bucket per
+    /// interface/method/execution-path triple.
+    pub fn ipc_type_with_path(&self) -> String {
+        format!("{}.{}#{}", self.interface, self.method, self.path_id)
+    }
+}
+
+/// A registered death link: `watcher` asked to be told when `node` dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeathLink {
+    /// The watched node.
+    pub node: NodeId,
+    /// Process that registered the recipient.
+    pub watcher: Pid,
+    /// Caller-chosen key so the watcher can find its bookkeeping
+    /// (e.g. the retained proxy object to release).
+    pub key: u64,
+}
+
+/// Delivered when a watched node's hosting process dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeathNotification {
+    /// The node that died.
+    pub node: NodeId,
+    /// Who should be told.
+    pub watcher: Pid,
+    /// The watcher's key from [`DeathLink`].
+    pub key: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NodeInfo {
+    host: Pid,
+    label: String,
+    alive: bool,
+}
+
+/// The simulated driver.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct BinderDriver {
+    clock: SimClock,
+    trace: TraceSink,
+    nodes: BTreeMap<NodeId, NodeInfo>,
+    next_node: u64,
+    log: Vec<IpcRecord>,
+    log_enabled: bool,
+    death_links: Vec<DeathLink>,
+    latency: LatencyModel,
+    defense_recording: bool,
+}
+
+impl BinderDriver {
+    /// Creates a driver with the default latency model and IPC logging on.
+    pub fn new(clock: SimClock, trace: TraceSink) -> Self {
+        Self {
+            clock,
+            trace,
+            nodes: BTreeMap::new(),
+            next_node: 1,
+            log: Vec::new(),
+            log_enabled: true,
+            death_links: Vec::new(),
+            latency: LatencyModel::default(),
+            defense_recording: false,
+        }
+    }
+
+    /// Replaces the latency model (used by the Figure 10 sweep).
+    pub fn set_latency_model(&mut self, model: LatencyModel) {
+        self.latency = model;
+    }
+
+    /// Enables or disables the extra per-transaction recording cost the
+    /// paper's extended driver incurs (Figure 10 compares both).
+    pub fn set_defense_recording(&mut self, enabled: bool) {
+        self.defense_recording = enabled;
+    }
+
+    /// Whether defense recording is on.
+    pub fn defense_recording(&self) -> bool {
+        self.defense_recording
+    }
+
+    /// Enables or disables the in-memory transaction log. Long benign
+    /// baselines (Figure 4) disable it to bound memory.
+    pub fn set_log_enabled(&mut self, enabled: bool) {
+        self.log_enabled = enabled;
+    }
+
+    /// Registers a new node hosted by `host`.
+    pub fn create_node(&mut self, host: Pid, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.next_node);
+        self.next_node += 1;
+        self.nodes.insert(
+            id,
+            NodeInfo {
+                host,
+                label: label.into(),
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// Host process of a node.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::UnknownNode`] if the node was never created,
+    /// [`BinderError::DeadNode`] if its host died.
+    pub fn node_host(&self, node: NodeId) -> Result<Pid, BinderError> {
+        let info = self.nodes.get(&node).ok_or(BinderError::UnknownNode)?;
+        if !info.alive {
+            return Err(BinderError::DeadNode);
+        }
+        Ok(info.host)
+    }
+
+    /// Human-readable node label (service or callback name).
+    pub fn node_label(&self, node: NodeId) -> Option<&str> {
+        self.nodes.get(&node).map(|i| i.label.as_str())
+    }
+
+    /// Whether the node is alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).is_some_and(|i| i.alive)
+    }
+
+    /// Routes one transaction: validates the target, advances the virtual
+    /// clock by the modelled transaction latency, and appends to the log.
+    /// Returns the record (also retained in [`log`](Self::log)).
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::UnknownNode`] / [`BinderError::DeadNode`] for bad
+    /// targets.
+    pub fn record_transaction(
+        &mut self,
+        from_pid: Pid,
+        from_uid: Uid,
+        node: NodeId,
+        interface: &str,
+        method: &str,
+        parcel: &Parcel,
+    ) -> Result<IpcRecord, BinderError> {
+        self.record_transaction_on_path(from_pid, from_uid, node, interface, method, parcel, 0)
+    }
+
+    /// Like [`record_transaction`](Self::record_transaction), tagging the
+    /// execution path the handler will take (the §VI extension).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_transaction_on_path(
+        &mut self,
+        from_pid: Pid,
+        from_uid: Uid,
+        node: NodeId,
+        interface: &str,
+        method: &str,
+        parcel: &Parcel,
+        path_id: u8,
+    ) -> Result<IpcRecord, BinderError> {
+        let to_pid = self.node_host(node)?;
+        let payload_bytes = parcel.payload_size();
+        if payload_bytes > TRANSACTION_BUFFER_LIMIT {
+            return Err(BinderError::TransactionTooLarge {
+                size: payload_bytes,
+                limit: TRANSACTION_BUFFER_LIMIT,
+            });
+        }
+        let cost = self.latency.transaction_cost(payload_bytes, self.defense_recording);
+        let at = self.clock.now();
+        self.clock.advance(cost);
+        let record = IpcRecord {
+            at,
+            from_pid,
+            from_uid,
+            to_pid,
+            to_node: node,
+            interface: interface.to_owned(),
+            method: method.to_owned(),
+            payload_bytes,
+            path_id,
+        };
+        self.trace.record(
+            at,
+            Some(from_pid),
+            Some(from_uid),
+            "binder.transact",
+            record.ipc_type(),
+        );
+        if self.log_enabled {
+            self.log.push(record.clone());
+        }
+        Ok(record)
+    }
+
+    /// The full transaction log (the defender's `/proc/jgre_ipc_log`).
+    pub fn log(&self) -> &[IpcRecord] {
+        &self.log
+    }
+
+    /// Log records at or after `since`.
+    pub fn log_since(&self, since: SimTime) -> impl Iterator<Item = &IpcRecord> {
+        // The log is time-ordered; a partition point avoids a full scan.
+        let start = self.log.partition_point(|r| r.at < since);
+        self.log[start..].iter()
+    }
+
+    /// Drops log records older than `before`, modelling the bounded proc
+    /// file.
+    pub fn prune_log(&mut self, before: SimTime) {
+        let start = self.log.partition_point(|r| r.at < before);
+        self.log.drain(..start);
+    }
+
+    /// Registers a death recipient: `watcher` will be notified when
+    /// `node`'s host dies (`Binder.linkToDeath`). The JNI global reference
+    /// the real `JavaDeathRecipient` creates is the *caller's* concern —
+    /// the framework pairs this call with an `add_global` on the watcher's
+    /// runtime, matching the paper's JGR-entry mapping for `linkToDeath`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::UnknownNode`] / [`BinderError::DeadNode`].
+    pub fn link_to_death(&mut self, node: NodeId, watcher: Pid, key: u64) -> Result<(), BinderError> {
+        self.node_host(node)?;
+        self.death_links.push(DeathLink { node, watcher, key });
+        Ok(())
+    }
+
+    /// Removes a death link (`unlinkToDeath`).
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::UnknownDeathLink`] when no matching link exists.
+    pub fn unlink_to_death(
+        &mut self,
+        node: NodeId,
+        watcher: Pid,
+        key: u64,
+    ) -> Result<(), BinderError> {
+        let before = self.death_links.len();
+        self.death_links
+            .retain(|l| !(l.node == node && l.watcher == watcher && l.key == key));
+        if self.death_links.len() == before {
+            return Err(BinderError::UnknownDeathLink);
+        }
+        Ok(())
+    }
+
+    /// Number of live death links (for tests and invariants).
+    pub fn death_link_count(&self) -> usize {
+        self.death_links.len()
+    }
+
+    /// Marks every node hosted by `pid` dead and returns the death
+    /// notifications to deliver. Links watched *by* the dead process are
+    /// dropped.
+    pub fn kill_process(&mut self, pid: Pid) -> Vec<DeathNotification> {
+        let mut dead_nodes = Vec::new();
+        for (id, info) in self.nodes.iter_mut() {
+            if info.host == pid && info.alive {
+                info.alive = false;
+                dead_nodes.push(*id);
+            }
+        }
+        let mut notifications = Vec::new();
+        self.death_links.retain(|link| {
+            if link.watcher == pid {
+                return false;
+            }
+            if dead_nodes.contains(&link.node) {
+                notifications.push(DeathNotification {
+                    node: link.node,
+                    watcher: link.watcher,
+                    key: link.key,
+                });
+                return false;
+            }
+            true
+        });
+        self.trace.record(
+            self.clock.now(),
+            Some(pid),
+            None,
+            "binder.process_death",
+            format!("nodes={} notifications={}", dead_nodes.len(), notifications.len()),
+        );
+        notifications
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn driver() -> BinderDriver {
+        BinderDriver::new(SimClock::new(), TraceSink::disabled())
+    }
+
+    #[test]
+    fn transaction_routes_to_host() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(412), "wifi");
+        let mut p = Parcel::new();
+        p.write_i32(1);
+        let rec = d
+            .record_transaction(Pid::new(9000), Uid::new(10061), node, "IWifiManager", "acquireWifiLock", &p)
+            .unwrap();
+        assert_eq!(rec.to_pid, Pid::new(412));
+        assert_eq!(rec.ipc_type(), "IWifiManager.acquireWifiLock");
+        assert_eq!(d.log().len(), 1);
+    }
+
+    #[test]
+    fn transactions_advance_the_clock() {
+        let clock = SimClock::new();
+        let mut d = BinderDriver::new(clock.clone(), TraceSink::disabled());
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        d.record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+            .unwrap();
+        assert!(clock.now() > SimTime::ZERO, "latency model must advance time");
+    }
+
+    #[test]
+    fn dead_node_rejects_transactions() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(1), "svc");
+        d.kill_process(Pid::new(1));
+        let p = Parcel::new();
+        assert_eq!(
+            d.record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p),
+            Err(BinderError::DeadNode)
+        );
+        assert_eq!(d.node_host(node), Err(BinderError::DeadNode));
+        assert!(!d.is_alive(node));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut d = driver();
+        let p = Parcel::new();
+        assert_eq!(
+            d.record_transaction(Pid::new(2), Uid::new(10000), NodeId::new(99), "I", "m", &p),
+            Err(BinderError::UnknownNode)
+        );
+    }
+
+    #[test]
+    fn death_links_fire_on_process_death() {
+        let mut d = driver();
+        let app_node = d.create_node(Pid::new(9000), "callback");
+        d.link_to_death(app_node, Pid::new(412), 77).unwrap();
+        assert_eq!(d.death_link_count(), 1);
+        let notes = d.kill_process(Pid::new(9000));
+        assert_eq!(
+            notes,
+            vec![DeathNotification {
+                node: app_node,
+                watcher: Pid::new(412),
+                key: 77
+            }]
+        );
+        assert_eq!(d.death_link_count(), 0);
+    }
+
+    #[test]
+    fn unlink_removes_exactly_one_registration() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(9000), "cb");
+        d.link_to_death(node, Pid::new(412), 1).unwrap();
+        d.link_to_death(node, Pid::new(412), 2).unwrap();
+        d.unlink_to_death(node, Pid::new(412), 1).unwrap();
+        assert_eq!(d.death_link_count(), 1);
+        assert_eq!(
+            d.unlink_to_death(node, Pid::new(412), 1),
+            Err(BinderError::UnknownDeathLink)
+        );
+        let notes = d.kill_process(Pid::new(9000));
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].key, 2);
+    }
+
+    #[test]
+    fn watcher_death_drops_its_links() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(9000), "cb");
+        d.link_to_death(node, Pid::new(412), 1).unwrap();
+        d.kill_process(Pid::new(412));
+        assert_eq!(d.death_link_count(), 0);
+        // The watched node's later death notifies nobody.
+        assert!(d.kill_process(Pid::new(9000)).is_empty());
+    }
+
+    #[test]
+    fn log_since_and_prune() {
+        let clock = SimClock::new();
+        let mut d = BinderDriver::new(clock.clone(), TraceSink::disabled());
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        let mut stamps = Vec::new();
+        for _ in 0..5 {
+            let rec = d
+                .record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+                .unwrap();
+            stamps.push(rec.at);
+        }
+        let mid = stamps[2];
+        assert_eq!(d.log_since(mid).count(), 3);
+        d.prune_log(mid);
+        assert_eq!(d.log().len(), 3);
+        assert_eq!(d.log()[0].at, mid);
+    }
+
+    #[test]
+    fn oversized_transactions_are_rejected() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(1), "svc");
+        let mut p = Parcel::new();
+        p.write_blob(2 * 1024 * 1024);
+        assert!(matches!(
+            d.record_transaction(Pid::new(2), Uid::new(10_000), node, "I", "m", &p),
+            Err(BinderError::TransactionTooLarge { .. })
+        ));
+        assert!(d.log().is_empty(), "rejected transactions are not logged");
+        // Just under the limit is fine.
+        let mut p = Parcel::new();
+        p.write_blob(1024 * 1024 - 64);
+        assert!(d
+            .record_transaction(Pid::new(2), Uid::new(10_000), node, "I", "m", &p)
+            .is_ok());
+    }
+
+    #[test]
+    fn log_can_be_disabled() {
+        let mut d = driver();
+        d.set_log_enabled(false);
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        d.record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+            .unwrap();
+        assert!(d.log().is_empty());
+    }
+}

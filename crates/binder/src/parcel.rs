@@ -1,0 +1,287 @@
+//! Typed transaction payloads.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BinderError, NodeId};
+
+/// One value inside a [`Parcel`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParcelValue {
+    /// A 32-bit integer (4 bytes on the wire).
+    I32(i32),
+    /// A 64-bit integer (8 bytes).
+    I64(i64),
+    /// A UTF-16 string (4-byte length prefix + 2 bytes per char).
+    String(String),
+    /// An opaque byte blob of the given length; only the size matters for
+    /// the simulation (Figure 10 sweeps payload size).
+    Blob(usize),
+    /// A strong binder reference — the `flat_binder_object` whose
+    /// unmarshalling creates a JNI global reference in the receiver.
+    StrongBinder(NodeId),
+}
+
+impl ParcelValue {
+    /// On-the-wire byte size, approximating Android's parcel layout.
+    pub fn byte_size(&self) -> usize {
+        match self {
+            ParcelValue::I32(_) => 4,
+            ParcelValue::I64(_) => 8,
+            ParcelValue::String(s) => 4 + 2 * s.chars().count(),
+            ParcelValue::Blob(len) => 4 + len,
+            // sizeof(flat_binder_object) on 64-bit Android.
+            ParcelValue::StrongBinder(_) => 24,
+        }
+    }
+
+    fn type_name(&self) -> &'static str {
+        match self {
+            ParcelValue::I32(_) => "i32",
+            ParcelValue::I64(_) => "i64",
+            ParcelValue::String(_) => "string",
+            ParcelValue::Blob(_) => "blob",
+            ParcelValue::StrongBinder(_) => "strong-binder",
+        }
+    }
+}
+
+/// An ordered, typed payload for one Binder transaction.
+///
+/// Writing appends; reading consumes front-to-back through an internal
+/// cursor, mirroring `android.os.Parcel`'s position semantics.
+///
+/// # Example
+///
+/// ```
+/// use jgre_binder::Parcel;
+///
+/// let mut p = Parcel::new();
+/// p.write_string("android"); // the enqueueToast spoof from Code-Snippet 3
+/// p.write_i32(7);
+/// assert_eq!(p.read_string()?, "android");
+/// assert_eq!(p.read_i32()?, 7);
+/// # Ok::<(), jgre_binder::BinderError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Parcel {
+    values: Vec<ParcelValue>,
+    cursor: usize,
+}
+
+impl Parcel {
+    /// Creates an empty parcel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a 32-bit integer.
+    pub fn write_i32(&mut self, v: i32) -> &mut Self {
+        self.values.push(ParcelValue::I32(v));
+        self
+    }
+
+    /// Appends a 64-bit integer.
+    pub fn write_i64(&mut self, v: i64) -> &mut Self {
+        self.values.push(ParcelValue::I64(v));
+        self
+    }
+
+    /// Appends a string.
+    pub fn write_string(&mut self, v: impl Into<String>) -> &mut Self {
+        self.values.push(ParcelValue::String(v.into()));
+        self
+    }
+
+    /// Appends an opaque blob of `len` bytes.
+    pub fn write_blob(&mut self, len: usize) -> &mut Self {
+        self.values.push(ParcelValue::Blob(len));
+        self
+    }
+
+    /// Appends a strong binder (`Parcel.writeStrongBinder`). On the Java
+    /// side this is `Parcel.nativeWriteStrongBinder`, one of the two
+    /// special JGR entries the paper's detector handles out-of-band
+    /// (§III-C.2).
+    pub fn write_strong_binder(&mut self, node: NodeId) -> &mut Self {
+        self.values.push(ParcelValue::StrongBinder(node));
+        self
+    }
+
+    fn read(&mut self, expected: &'static str) -> Result<&ParcelValue, BinderError> {
+        let value = self.values.get(self.cursor).ok_or(BinderError::ParcelUnderflow)?;
+        if value.type_name() != expected {
+            return Err(BinderError::ParcelTypeMismatch {
+                expected,
+                found: value.type_name(),
+            });
+        }
+        self.cursor += 1;
+        Ok(value)
+    }
+
+    /// Reads the next value as an `i32`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ParcelUnderflow`] or
+    /// [`BinderError::ParcelTypeMismatch`].
+    pub fn read_i32(&mut self) -> Result<i32, BinderError> {
+        match self.read("i32")? {
+            ParcelValue::I32(v) => Ok(*v),
+            _ => unreachable!("type checked by read()"),
+        }
+    }
+
+    /// Reads the next value as an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ParcelUnderflow`] or
+    /// [`BinderError::ParcelTypeMismatch`].
+    pub fn read_i64(&mut self) -> Result<i64, BinderError> {
+        match self.read("i64")? {
+            ParcelValue::I64(v) => Ok(*v),
+            _ => unreachable!("type checked by read()"),
+        }
+    }
+
+    /// Reads the next value as a string.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ParcelUnderflow`] or
+    /// [`BinderError::ParcelTypeMismatch`].
+    pub fn read_string(&mut self) -> Result<String, BinderError> {
+        match self.read("string")? {
+            ParcelValue::String(s) => Ok(s.clone()),
+            _ => unreachable!("type checked by read()"),
+        }
+    }
+
+    /// Reads the next value as a blob, returning its length.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ParcelUnderflow`] or
+    /// [`BinderError::ParcelTypeMismatch`].
+    pub fn read_blob(&mut self) -> Result<usize, BinderError> {
+        match self.read("blob")? {
+            ParcelValue::Blob(len) => Ok(*len),
+            _ => unreachable!("type checked by read()"),
+        }
+    }
+
+    /// Reads the next value as a strong binder (`Parcel.readStrongBinder`).
+    ///
+    /// Note that this only yields the node id; turning it into a proxy
+    /// object plus a JNI global reference in the receiving runtime is
+    /// [`materialize_strong_binder`](crate::materialize_strong_binder) —
+    /// the separation matches Android, where the JGR is created by
+    /// `javaObjectForIBinder`, not by the parcel itself.
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ParcelUnderflow`] or
+    /// [`BinderError::ParcelTypeMismatch`].
+    pub fn read_strong_binder(&mut self) -> Result<NodeId, BinderError> {
+        match self.read("strong-binder")? {
+            ParcelValue::StrongBinder(node) => Ok(*node),
+            _ => unreachable!("type checked by read()"),
+        }
+    }
+
+    /// Total payload size in bytes.
+    pub fn payload_size(&self) -> usize {
+        self.values.iter().map(ParcelValue::byte_size).sum()
+    }
+
+    /// Number of values written.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the parcel holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// All strong binders in the parcel, in order — used by the framework
+    /// dispatcher to materialise proxies on delivery.
+    pub fn strong_binders(&self) -> Vec<NodeId> {
+        self.values
+            .iter()
+            .filter_map(|v| match v {
+                ParcelValue::StrongBinder(n) => Some(*n),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Resets the read cursor to the beginning (`Parcel.setDataPosition(0)`).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut p = Parcel::new();
+        p.write_i32(1)
+            .write_i64(2)
+            .write_string("hi")
+            .write_blob(100)
+            .write_strong_binder(NodeId::new(5));
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.read_i32().unwrap(), 1);
+        assert_eq!(p.read_i64().unwrap(), 2);
+        assert_eq!(p.read_string().unwrap(), "hi");
+        assert_eq!(p.read_blob().unwrap(), 100);
+        assert_eq!(p.read_strong_binder().unwrap(), NodeId::new(5));
+        assert_eq!(p.read_i32(), Err(BinderError::ParcelUnderflow));
+    }
+
+    #[test]
+    fn type_mismatch_reported_without_consuming() {
+        let mut p = Parcel::new();
+        p.write_string("x");
+        assert_eq!(
+            p.read_i32(),
+            Err(BinderError::ParcelTypeMismatch {
+                expected: "i32",
+                found: "string"
+            })
+        );
+        // The value is still readable with the right type.
+        assert_eq!(p.read_string().unwrap(), "x");
+    }
+
+    #[test]
+    fn payload_size_model() {
+        let mut p = Parcel::new();
+        p.write_i32(0).write_string("ab").write_blob(1024);
+        // 4 + (4 + 2*2) + (4 + 1024)
+        assert_eq!(p.payload_size(), 4 + 8 + 1028);
+    }
+
+    #[test]
+    fn strong_binders_extracted_in_order() {
+        let mut p = Parcel::new();
+        p.write_strong_binder(NodeId::new(1))
+            .write_i32(9)
+            .write_strong_binder(NodeId::new(2));
+        assert_eq!(p.strong_binders(), vec![NodeId::new(1), NodeId::new(2)]);
+    }
+
+    #[test]
+    fn rewind_allows_rereading() {
+        let mut p = Parcel::new();
+        p.write_i32(7);
+        assert_eq!(p.read_i32().unwrap(), 7);
+        p.rewind();
+        assert_eq!(p.read_i32().unwrap(), 7);
+    }
+}

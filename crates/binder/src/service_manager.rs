@@ -1,0 +1,96 @@
+//! The service manager: Android's name → binder directory.
+
+use std::collections::BTreeMap;
+
+use crate::{BinderError, NodeId};
+
+/// Name-based service registry (`android.os.ServiceManager`).
+///
+/// Every exploit in the paper starts here: Code-Snippet 2 calls
+/// `ServiceManager.getService("wifi")` to bypass the `WifiManager` helper
+/// and talk to the vulnerable service directly.
+///
+/// # Example
+///
+/// ```
+/// use jgre_binder::{NodeId, ServiceManager};
+///
+/// let mut sm = ServiceManager::new();
+/// sm.add_service("clipboard", NodeId::new(3))?;
+/// assert_eq!(sm.get_service("clipboard"), Some(NodeId::new(3)));
+/// assert_eq!(sm.get_service("nope"), None);
+/// # Ok::<(), jgre_binder::BinderError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ServiceManager {
+    services: BTreeMap<String, NodeId>,
+}
+
+impl ServiceManager {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `node` under `name` (`ServiceManager.addService` /
+    /// `publishBinderService`).
+    ///
+    /// # Errors
+    ///
+    /// [`BinderError::ServiceNameTaken`] when the name is already bound.
+    pub fn add_service(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), BinderError> {
+        let name = name.into();
+        if self.services.contains_key(&name) {
+            return Err(BinderError::ServiceNameTaken(name));
+        }
+        self.services.insert(name, node);
+        Ok(())
+    }
+
+    /// Looks up a service by name.
+    pub fn get_service(&self, name: &str) -> Option<NodeId> {
+        self.services.get(name).copied()
+    }
+
+    /// All registered service names, sorted.
+    pub fn list_services(&self) -> Vec<&str> {
+        self.services.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered services (the paper counts 104 on 6.0.1).
+    pub fn len(&self) -> usize {
+        self.services.len()
+    }
+
+    /// Whether no services are registered.
+    pub fn is_empty(&self) -> bool {
+        self.services.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut sm = ServiceManager::new();
+        sm.add_service("wifi", NodeId::new(1)).unwrap();
+        sm.add_service("audio", NodeId::new(2)).unwrap();
+        assert_eq!(sm.len(), 2);
+        assert_eq!(sm.get_service("wifi"), Some(NodeId::new(1)));
+        assert_eq!(sm.list_services(), vec!["audio", "wifi"]);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut sm = ServiceManager::new();
+        sm.add_service("wifi", NodeId::new(1)).unwrap();
+        assert_eq!(
+            sm.add_service("wifi", NodeId::new(2)),
+            Err(BinderError::ServiceNameTaken("wifi".into()))
+        );
+        // Original binding survives.
+        assert_eq!(sm.get_service("wifi"), Some(NodeId::new(1)));
+    }
+}

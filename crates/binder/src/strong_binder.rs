@@ -1,0 +1,131 @@
+//! Materialising received strong binders into proxy objects + JGRs.
+//!
+//! In Android, `Parcel.readStrongBinder()` on the receiving side goes
+//! through `android_os_Parcel_readStrongBinder` →
+//! `javaObjectForIBinder`, which allocates a `BinderProxy` and pins its
+//! native peer with a **JNI global reference**; the reference is only
+//! released when the proxy is garbage-collected (its finalizer calls
+//! `BinderProxy.destroy`). The paper records
+//! `Parcel.nativeReadStrongBinder()` as a Java JGR entry for exactly this
+//! reason (§III-B, Figure 2).
+//!
+//! [`materialize_strong_binder`] reproduces that contract against the
+//! simulated runtime: allocate a proxy, add a global reference, and attach
+//! a finalizer that deletes the reference when the proxy dies. Whether the
+//! reference *leaks* is then decided by the service handler: retaining the
+//! proxy (a listener list) pins it; dropping it lets the next GC release
+//! everything — which is precisely the distinction the paper's sift rules
+//! draw.
+
+use jgre_art::{ArtError, Finalizer, IndirectRef, ObjRef, Runtime};
+
+use crate::NodeId;
+
+/// A proxy materialised in a receiving process for an incoming binder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReceivedBinder {
+    /// The remote node this proxy speaks to.
+    pub node: NodeId,
+    /// The `BinderProxy` heap object in the receiving runtime.
+    pub proxy: ObjRef,
+    /// The global reference pinning the proxy's native peer.
+    pub gref: IndirectRef,
+}
+
+/// Unmarshals one strong binder into `runtime`, creating the proxy object
+/// and its JNI global reference.
+///
+/// The returned proxy is **unpinned**: if the service handler does not
+/// [`retain`](Runtime::retain) it, the next garbage collection frees it and
+/// the attached finalizer deletes the global reference — the "innocent"
+/// pattern. Retaining it reproduces the leak.
+///
+/// # Errors
+///
+/// Propagates [`ArtError::TableOverflow`] when this add is the one that
+/// blows the 51200 cap (the receiving runtime aborts, the JGRE event), or
+/// [`ArtError::RuntimeAborted`] when the runtime is already dead.
+///
+/// # Example
+///
+/// ```
+/// use jgre_art::Runtime;
+/// use jgre_binder::{materialize_strong_binder, NodeId};
+/// use jgre_sim::{Pid, SimClock, TraceSink};
+///
+/// let mut rt = Runtime::new(Pid::new(412), SimClock::new(), TraceSink::disabled());
+/// let received = materialize_strong_binder(&mut rt, NodeId::new(8))?;
+/// assert_eq!(rt.global_count(), 1);
+/// // Nothing retains the proxy, so GC releases the reference:
+/// rt.collect_garbage();
+/// assert_eq!(rt.global_count(), 0);
+/// # Ok::<(), jgre_art::ArtError>(())
+/// ```
+pub fn materialize_strong_binder(
+    runtime: &mut Runtime,
+    node: NodeId,
+) -> Result<ReceivedBinder, ArtError> {
+    // The native peer object pinned by the global reference.
+    let peer = runtime.alloc("android::BpBinder");
+    let gref = runtime.add_global(peer)?;
+    // The Java-visible proxy; its finalizer releases the global reference,
+    // mirroring BinderProxy.finalize() -> destroy().
+    let proxy = runtime.alloc("android.os.BinderProxy");
+    runtime
+        .add_finalizer(proxy, Finalizer::DeleteGlobalRef(gref))
+        .expect("proxy was just allocated");
+    Ok(ReceivedBinder { node, proxy, gref })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgre_art::RuntimeState;
+    use jgre_sim::{Pid, SimClock, TraceSink};
+
+    fn runtime(cap: usize) -> Runtime {
+        Runtime::with_global_capacity(Pid::new(412), SimClock::new(), TraceSink::disabled(), cap)
+    }
+
+    #[test]
+    fn unretained_proxy_releases_on_gc() {
+        let mut rt = runtime(100);
+        for _ in 0..10 {
+            materialize_strong_binder(&mut rt, NodeId::new(1)).unwrap();
+        }
+        assert_eq!(rt.global_count(), 10);
+        rt.collect_garbage();
+        assert_eq!(rt.global_count(), 0, "innocent pattern: GC drains the table");
+    }
+
+    #[test]
+    fn retained_proxy_leaks_across_gc() {
+        let mut rt = runtime(100);
+        let mut retained = Vec::new();
+        for _ in 0..10 {
+            let rb = materialize_strong_binder(&mut rt, NodeId::new(1)).unwrap();
+            rt.retain(rb.proxy).unwrap();
+            retained.push(rb);
+        }
+        rt.collect_garbage();
+        assert_eq!(rt.global_count(), 10, "vulnerable pattern: retention pins the JGR");
+        // Releasing (e.g. on caller death) lets the next GC drain it.
+        for rb in retained {
+            rt.release(rb.proxy).unwrap();
+        }
+        rt.collect_garbage();
+        assert_eq!(rt.global_count(), 0);
+    }
+
+    #[test]
+    fn overflow_during_materialisation_aborts_receiver() {
+        let mut rt = runtime(3);
+        for _ in 0..3 {
+            let rb = materialize_strong_binder(&mut rt, NodeId::new(1)).unwrap();
+            rt.retain(rb.proxy).unwrap();
+        }
+        let err = materialize_strong_binder(&mut rt, NodeId::new(1)).unwrap_err();
+        assert!(matches!(err, ArtError::TableOverflow { .. }));
+        assert_eq!(rt.state(), RuntimeState::Aborted);
+    }
+}

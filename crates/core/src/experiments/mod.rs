@@ -1,0 +1,25 @@
+//! One runner per table and figure of the paper's evaluation.
+//!
+//! Each runner returns a serialisable result struct with a `render()`
+//! method producing the human-readable table/series; the bench harness
+//! also dumps them as JSON next to `EXPERIMENTS.md`.
+
+mod analysis;
+mod baseline;
+mod detection;
+mod exhaustion;
+mod overhead;
+mod protections;
+
+pub use analysis::{
+    analysis_headline, table1, table4, table5, AnalysisHeadline, Table1, Table1Row, Table4,
+    Table4Row, Table5, Table5Row,
+};
+pub use baseline::{fig4, Fig4};
+pub use detection::{
+    defense_effectiveness, fig8, fig9, response_delay, run_defended_attack, DefendedAttack,
+    DefenseEffectiveness, Fig8, Fig8Row, Fig9, Fig9Row, ResponseDelay, ResponseDelayRow,
+};
+pub use exhaustion::{fig3, fig5, fig6, Fig3, Fig3Series, Fig5, Fig6};
+pub use overhead::{fig10, Fig10, Fig10Row};
+pub use protections::{table2, table3, Table2, Table2Row, Table3, Table3Row};

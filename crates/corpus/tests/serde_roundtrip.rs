@@ -1,0 +1,62 @@
+//! The catalog and code model are data: they must survive JSON
+//! round-trips bit-for-bit (downstream tooling exports them).
+
+use jgre_corpus::{spec::AospSpec, CodeModel};
+
+#[test]
+fn spec_roundtrips_through_json() {
+    let spec = AospSpec::android_6_0_1();
+    let json = serde_json::to_string(&spec).expect("spec serialises");
+    let back: AospSpec = serde_json::from_str(&json).expect("spec deserialises");
+    assert_eq!(spec, back);
+    // The catalog is a non-trivial document.
+    assert!(json.len() > 100_000, "unexpectedly small: {}", json.len());
+}
+
+#[test]
+fn model_roundtrips_through_json() {
+    let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+    let json = serde_json::to_string(&model).expect("model serialises");
+    let back: CodeModel = serde_json::from_str(&json).expect("model deserialises");
+    assert_eq!(model, back);
+}
+
+#[test]
+fn golden_catalog_facts() {
+    // A handful of exact values pinned against accidental catalog drift;
+    // every number here is traceable to the paper.
+    let spec = AospSpec::android_6_0_1();
+    let wifi = spec.service("wifi").expect("wifi exists");
+    assert_eq!(wifi.interface, "IWifiManager");
+    let toast = spec
+        .service("notification")
+        .unwrap()
+        .method("enqueueToast")
+        .unwrap();
+    assert_eq!(
+        toast.cost.expected_exhaustion_us(jgre_corpus::JGR_CAP, 1) / 1_000_000,
+        1_800,
+        "the slowest exhaustion is pinned at 1800 s"
+    );
+    let audio = spec
+        .service("audio")
+        .unwrap()
+        .method("startWatchingRoutes")
+        .unwrap();
+    assert_eq!(
+        audio.cost.expected_exhaustion_us(jgre_corpus::JGR_CAP, 1) / 1_000_000,
+        100,
+        "the fastest exhaustion is pinned at 100 s"
+    );
+    let pico = spec.prebuilt_app("PicoTts").expect("PicoTts exists");
+    assert_eq!(pico.code_path, "external/svox/pico");
+    assert_eq!(
+        spec.third_party_apps.len()
+            - spec
+                .third_party_apps
+                .iter()
+                .filter(|a| a.vulnerable_interface.is_some())
+                .count(),
+        997
+    );
+}

@@ -1,0 +1,62 @@
+//! The paper's JGRE defense (§V): runtime monitoring, IPC↔JGR
+//! correlation scoring, and LMK-style recovery.
+//!
+//! Three phases, exactly as Figure 7 lays them out:
+//!
+//! 1. **Capture** — [`JgrMonitor`] extends every runtime (through the
+//!    [`jgre_art::JgrObserver`] hook) and starts recording JGR event
+//!    timestamps once a process crosses the *record* threshold (4000
+//!    entries); crossing the *trigger* threshold (12000) raises an alarm.
+//! 2. **Rank** — [`segment_tree_scores`] implements Algorithm 1: for every app and
+//!    every IPC type it invoked, slide each `(IPC call, JGR add)` pair's
+//!    possible `Delay ∈ [JGRTime−IPCTime, JGRTime−IPCTime+Δ]` interval
+//!    into a histogram and take the best-supported delay; the app's
+//!    `jgre_score` is the sum over its IPC types. The histogram is backed
+//!    by a lazy [`SegmentTree`] (range add / global max), the paper's
+//!    §V-D.2 memory optimisation; a naive array implementation is kept
+//!    for the ablation bench.
+//! 3. **Recover** — [`JgreDefender::poll`] kills the top-ranked apps
+//!    (`am force-stop`) until the victim's JGR table returns to a normal
+//!    level, mirroring the LMK contract that any app may be killed to
+//!    reclaim exhausted resources.
+//!
+//! # Example
+//!
+//! ```
+//! use jgre_defense::{DefenderConfig, JgreDefender};
+//! use jgre_framework::{System, SystemConfig};
+//!
+//! let mut system = System::boot_with(SystemConfig {
+//!     jgr_capacity: Some(2_000),
+//!     ..SystemConfig::default()
+//! });
+//! // Thresholds scaled to the reduced capacity for the example.
+//! let config = DefenderConfig {
+//!     record_threshold: 200,
+//!     trigger_threshold: 600,
+//!     normal_level: 300,
+//!     ..DefenderConfig::default()
+//! };
+//! let defender = JgreDefender::install(&mut system, config);
+//! assert!(defender.poll(&mut system).is_none(), "quiet system, no alarm");
+//! ```
+
+mod defender;
+mod monitor;
+mod naive_defense;
+mod scorer;
+mod segment_tree;
+
+pub use defender::{DefenderConfig, DetectionOutcome, JgreDefender};
+pub use monitor::JgrMonitor;
+pub use naive_defense::{CallCountDefense, CallCountDetection};
+pub use scorer::{naive_scores, segment_tree_scores, ScoreParams, ScoreReport, UidScore};
+pub use segment_tree::SegmentTree;
+
+/// Record threshold: the runtime starts logging JGR event times once a
+/// process holds this many entries (§V-B).
+pub const RECORD_THRESHOLD: usize = 4_000;
+
+/// Trigger threshold: the runtime alerts the defender once this many
+/// entries exist (§V-B).
+pub const TRIGGER_THRESHOLD: usize = 12_000;

@@ -1,0 +1,238 @@
+//! Phase 1: the runtime-side JGR monitor.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+
+use jgre_art::{JgrEvent, JgrEventKind, JgrObserver};
+use jgre_sim::{Pid, SimTime};
+
+#[derive(Debug, Default)]
+struct WatchState {
+    current: usize,
+    recording_since: Option<SimTime>,
+    add_times: Vec<SimTime>,
+    remove_times: Vec<SimTime>,
+    alarmed: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    record_threshold: usize,
+    trigger_threshold: usize,
+    watches: BTreeMap<Pid, WatchState>,
+}
+
+/// Observes JGR traffic on every runtime it is registered with.
+///
+/// Mirrors the paper's extended Android Runtime: below the record
+/// threshold it only tracks the current table size (no per-event cost);
+/// once a process crosses it, event timestamps are recorded; crossing the
+/// trigger threshold raises the alarm the defender polls for.
+///
+/// # Example
+///
+/// ```
+/// use std::rc::Rc;
+/// use jgre_defense::JgrMonitor;
+/// use jgre_framework::{System, SystemConfig};
+///
+/// let mut system = System::boot(0);
+/// let monitor = Rc::new(JgrMonitor::new(4_000, 12_000));
+/// system.register_jgr_observer(monitor.clone());
+/// assert!(monitor.alarmed_pids().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct JgrMonitor {
+    inner: RefCell<Inner>,
+}
+
+impl JgrMonitor {
+    /// Creates a monitor with the given thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `record_threshold < trigger_threshold`.
+    pub fn new(record_threshold: usize, trigger_threshold: usize) -> Self {
+        assert!(
+            record_threshold < trigger_threshold,
+            "recording must begin before the alarm"
+        );
+        Self {
+            inner: RefCell::new(Inner {
+                record_threshold,
+                trigger_threshold,
+                watches: BTreeMap::new(),
+            }),
+        }
+    }
+
+    /// Convenience: a monitor with the paper's 4000/12000 thresholds.
+    pub fn with_paper_thresholds() -> Self {
+        Self::new(crate::RECORD_THRESHOLD, crate::TRIGGER_THRESHOLD)
+    }
+
+    /// Pids whose alarm is raised.
+    pub fn alarmed_pids(&self) -> Vec<Pid> {
+        self.inner
+            .borrow()
+            .watches
+            .iter()
+            .filter(|(_, w)| w.alarmed)
+            .map(|(pid, _)| *pid)
+            .collect()
+    }
+
+    /// Current JGR table size as observed for `pid`.
+    pub fn current_count(&self, pid: Pid) -> usize {
+        self.inner
+            .borrow()
+            .watches
+            .get(&pid)
+            .map(|w| w.current)
+            .unwrap_or(0)
+    }
+
+    /// Recorded add timestamps for `pid` (empty below the record
+    /// threshold).
+    pub fn add_times(&self, pid: Pid) -> Vec<SimTime> {
+        self.inner
+            .borrow()
+            .watches
+            .get(&pid)
+            .map(|w| w.add_times.clone())
+            .unwrap_or_default()
+    }
+
+    /// Recorded remove timestamps for `pid`.
+    pub fn remove_times(&self, pid: Pid) -> Vec<SimTime> {
+        self.inner
+            .borrow()
+            .watches
+            .get(&pid)
+            .map(|w| w.remove_times.clone())
+            .unwrap_or_default()
+    }
+
+    /// When recording started for `pid`, if it is recording.
+    pub fn recording_since(&self, pid: Pid) -> Option<SimTime> {
+        self.inner
+            .borrow()
+            .watches
+            .get(&pid)
+            .and_then(|w| w.recording_since)
+    }
+
+    /// Clears the alarm and the recorded events for `pid` (after a
+    /// recovery pass). Recording restarts automatically if the table is
+    /// still above the record threshold at the next event.
+    pub fn reset(&self, pid: Pid) {
+        let mut inner = self.inner.borrow_mut();
+        if let Some(w) = inner.watches.get_mut(&pid) {
+            w.alarmed = false;
+            w.recording_since = None;
+            w.add_times.clear();
+            w.remove_times.clear();
+        }
+    }
+}
+
+impl JgrObserver for JgrMonitor {
+    fn on_jgr_event(&self, event: JgrEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let record_threshold = inner.record_threshold;
+        let trigger_threshold = inner.trigger_threshold;
+        let watch = inner.watches.entry(event.pid).or_default();
+        watch.current = event.table_size_after;
+        if watch.current >= record_threshold {
+            if watch.recording_since.is_none() {
+                watch.recording_since = Some(event.at);
+            }
+            match event.kind {
+                JgrEventKind::Add => watch.add_times.push(event.at),
+                JgrEventKind::Remove => watch.remove_times.push(event.at),
+            }
+        } else if watch.recording_since.is_some() && !watch.alarmed {
+            // The table drained on its own (benign churn): stop recording
+            // and drop the buffers.
+            watch.recording_since = None;
+            watch.add_times.clear();
+            watch.remove_times.clear();
+        }
+        if watch.current >= trigger_threshold {
+            watch.alarmed = true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgre_sim::SimTime;
+
+    fn event(pid: u32, at: u64, kind: JgrEventKind, size: usize) -> JgrEvent {
+        JgrEvent {
+            at: SimTime::from_micros(at),
+            pid: Pid::new(pid),
+            kind,
+            table_size_after: size,
+        }
+    }
+
+    #[test]
+    fn records_only_above_threshold() {
+        let m = JgrMonitor::new(10, 20);
+        for i in 1..=9 {
+            m.on_jgr_event(event(1, i, JgrEventKind::Add, i as usize));
+        }
+        assert!(m.add_times(Pid::new(1)).is_empty());
+        m.on_jgr_event(event(1, 10, JgrEventKind::Add, 10));
+        m.on_jgr_event(event(1, 11, JgrEventKind::Add, 11));
+        assert_eq!(m.add_times(Pid::new(1)).len(), 2);
+        assert!(m.alarmed_pids().is_empty());
+    }
+
+    #[test]
+    fn alarm_raises_at_trigger() {
+        let m = JgrMonitor::new(5, 8);
+        for i in 1..=8 {
+            m.on_jgr_event(event(2, i, JgrEventKind::Add, i as usize));
+        }
+        assert_eq!(m.alarmed_pids(), vec![Pid::new(2)]);
+        assert_eq!(m.current_count(Pid::new(2)), 8);
+    }
+
+    #[test]
+    fn benign_drain_stops_recording() {
+        let m = JgrMonitor::new(5, 100);
+        for i in 1..=6 {
+            m.on_jgr_event(event(1, i, JgrEventKind::Add, i as usize));
+        }
+        assert!(!m.add_times(Pid::new(1)).is_empty());
+        // Table shrinks below the record threshold.
+        m.on_jgr_event(event(1, 7, JgrEventKind::Remove, 4));
+        assert!(m.add_times(Pid::new(1)).is_empty());
+        assert!(m.recording_since(Pid::new(1)).is_none());
+    }
+
+    #[test]
+    fn reset_clears_alarm_and_buffers() {
+        let m = JgrMonitor::new(2, 4);
+        for i in 1..=4 {
+            m.on_jgr_event(event(3, i, JgrEventKind::Add, i as usize));
+        }
+        assert!(!m.alarmed_pids().is_empty());
+        m.reset(Pid::new(3));
+        assert!(m.alarmed_pids().is_empty());
+        assert!(m.add_times(Pid::new(3)).is_empty());
+        // Still above threshold: next event restarts recording.
+        m.on_jgr_event(event(3, 5, JgrEventKind::Add, 5));
+        assert_eq!(m.add_times(Pid::new(3)).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "recording must begin before the alarm")]
+    fn thresholds_validated() {
+        let _ = JgrMonitor::new(10, 10);
+    }
+}

@@ -1,0 +1,88 @@
+//! Two victims under simultaneous attack: one attacker grinds a
+//! `system_server` interface while another grinds the Bluetooth app's
+//! exported service. Both runtimes raise alarms; the defender must
+//! resolve both, attribute correctly, and keep both processes alive.
+
+use jgre_attack::{run_interleaved, Actor, ActorKind, AttackVector};
+use jgre_corpus::spec::AospSpec;
+use jgre_defense::{DefenderConfig, JgreDefender};
+use jgre_framework::{System, SystemConfig};
+use jgre_sim::SimDuration;
+
+#[test]
+fn defender_resolves_alarms_on_two_victims() {
+    let mut system = System::boot_with(SystemConfig {
+        seed: 29,
+        jgr_capacity: Some(3_200),
+        ..SystemConfig::default()
+    });
+    let defender = JgreDefender::install(
+        &mut system,
+        DefenderConfig {
+            record_threshold: 250,
+            trigger_threshold: 750,
+            normal_level: 150,
+            ..DefenderConfig::default()
+        },
+    );
+    let spec = AospSpec::android_6_0_1();
+    let clip = AttackVector::service_vectors(&spec)
+        .into_iter()
+        .find(|v| v.service == "clipboard")
+        .expect("clipboard is vulnerable");
+    let gatt = AttackVector::prebuilt_vectors(&spec)
+        .into_iter()
+        .find(|v| v.service == "bluetooth_gatt")
+        .expect("Bluetooth's GATT service is vulnerable");
+    let a1 = system.install_app("com.evil.ss", clip.permissions.clone());
+    let a2 = system.install_app("com.evil.bt", gatt.permissions.clone());
+    let ss = system.system_server_pid();
+    let bt = system
+        .service_info("bluetooth_gatt")
+        .expect("registered")
+        .host;
+    assert_ne!(ss, bt, "two distinct victims");
+
+    let actors = vec![
+        Actor {
+            uid: a1,
+            kind: ActorKind::Attacker(clip),
+        },
+        Actor {
+            uid: a2,
+            kind: ActorKind::Attacker(gatt),
+        },
+    ];
+    let mut detections = Vec::new();
+    for _ in 0..20_000 {
+        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(300), 29, true);
+        while let Some(d) = defender.poll(&mut system) {
+            detections.push(d);
+        }
+        if detections.len() >= 2 {
+            break;
+        }
+    }
+    assert!(
+        detections.len() >= 2,
+        "both victims must raise and resolve alarms, got {}",
+        detections.len()
+    );
+    let victims: std::collections::BTreeSet<_> = detections.iter().map(|d| d.victim).collect();
+    assert!(victims.contains(&ss), "system_server alarm resolved");
+    assert!(victims.contains(&bt), "Bluetooth alarm resolved");
+    for d in &detections {
+        let expected = if d.victim == ss { a1 } else { a2 };
+        assert_eq!(
+            d.killed,
+            vec![expected],
+            "victim {} must kill its own attacker",
+            d.victim
+        );
+    }
+    assert_eq!(system.soft_reboots(), 0);
+    assert!(
+        system.service_info("bluetooth_gatt").is_some(),
+        "the Bluetooth service survived"
+    );
+}

@@ -1,0 +1,128 @@
+//! §VI extension: multi-path attacks and path-classified scoring.
+//!
+//! The paper's Observation 2 assumes each IPC method has one attack path
+//! with a stable `Delay`. §VI discusses attackers rotating between
+//! execution paths of the same method to smear their timing signature,
+//! and answers: classify IPC calls by execution path first, then count
+//! per category. These tests show (a) the smear degrades a
+//! single-bucket correlator's score, and (b) the path-classified
+//! defender restores it and still kills the attacker.
+
+use jgre_attack::{run_interleaved, Actor, ActorKind, AttackVector};
+use jgre_corpus::spec::AospSpec;
+use jgre_defense::{DefenderConfig, JgreDefender};
+use jgre_framework::{System, SystemConfig};
+use jgre_sim::SimDuration;
+
+fn quick_config(classify_paths: bool) -> DefenderConfig {
+    DefenderConfig {
+        record_threshold: 250,
+        trigger_threshold: 750,
+        normal_level: 150,
+        classify_paths,
+        ..DefenderConfig::default()
+    }
+}
+
+fn system() -> System {
+    System::boot_with(SystemConfig {
+        seed: 17,
+        jgr_capacity: Some(3_200),
+        ..SystemConfig::default()
+    })
+}
+
+/// Runs a multi-path attacker plus a chatty benign app until the alarm
+/// fires and returns (attacker score, benign score) at Δ = 1.8 ms.
+fn run_scenario(classify_paths: bool, paths: u8) -> (u64, u64) {
+    let mut system = system();
+    let defender = JgreDefender::install(&mut system, quick_config(classify_paths));
+    let spec = AospSpec::android_6_0_1();
+    let vector = AttackVector::service_vectors(&spec)
+        .into_iter()
+        .find(|v| v.service == "mount" && v.method == "registerListener")
+        .expect("mount.registerListener is in Table I");
+    let mal = system.install_app("com.evil", vector.permissions.clone());
+    let benign = system.install_app("com.benign", []);
+    let actors = vec![
+        Actor {
+            uid: mal,
+            kind: ActorKind::MultiPathAttacker { vector, paths },
+        },
+        Actor {
+            uid: benign,
+            kind: ActorKind::ChattyBenign {
+                max_gap: SimDuration::from_millis(100),
+            },
+        },
+    ];
+    for _ in 0..10_000 {
+        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(500), 17, true);
+        if !defender.monitor().alarmed_pids().is_empty() {
+            break;
+        }
+    }
+    let victim = system.system_server_pid();
+    let report = defender
+        .score_only(&system, victim, SimDuration::from_micros(1_800))
+        .expect("alarm implies a recording");
+    let score_of = |uid| {
+        report
+            .scores
+            .iter()
+            .find(|s| s.uid == uid)
+            .map(|s| s.score)
+            .unwrap_or(0)
+    };
+    (score_of(mal), score_of(benign))
+}
+
+#[test]
+fn path_rotation_dilutes_single_bucket_scores() {
+    let (single_path, _) = run_scenario(false, 1);
+    let (smeared, _) = run_scenario(false, 4);
+    assert!(
+        smeared < single_path,
+        "rotating 4 paths must dilute the single-bucket score: {smeared} !< {single_path}"
+    );
+}
+
+#[test]
+fn path_classification_restores_the_score() {
+    let (diluted, benign_diluted) = run_scenario(false, 4);
+    let (classified, benign_classified) = run_scenario(true, 4);
+    assert!(
+        classified > diluted,
+        "per-path buckets must restore concentration: {classified} !> {diluted}"
+    );
+    // Both configurations still rank the attacker above the benign app.
+    assert!(diluted > benign_diluted);
+    assert!(classified > benign_classified);
+}
+
+#[test]
+fn classified_defender_kills_the_multipath_attacker() {
+    let mut system = system();
+    let defender = JgreDefender::install(&mut system, quick_config(true));
+    let spec = AospSpec::android_6_0_1();
+    let vector = AttackVector::service_vectors(&spec)
+        .into_iter()
+        .find(|v| v.service == "mount")
+        .expect("mount is vulnerable");
+    let mal = system.install_app("com.evil", vector.permissions.clone());
+    let actors = vec![Actor {
+        uid: mal,
+        kind: ActorKind::MultiPathAttacker { vector, paths: 4 },
+    }];
+    let mut detection = None;
+    for _ in 0..10_000 {
+        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(500), 23, true);
+        if let Some(d) = defender.poll(&mut system) {
+            detection = Some(d);
+            break;
+        }
+    }
+    let d = detection.expect("multi-path attack must still trip the alarm");
+    assert_eq!(d.killed, vec![mal]);
+    assert_eq!(system.soft_reboots(), 0);
+}

@@ -1,0 +1,153 @@
+//! Property-based tests for Algorithm 1's invariances.
+
+use std::collections::BTreeMap;
+
+use jgre_defense::{naive_scores, segment_tree_scores, ScoreParams};
+use jgre_sim::{SimDuration, SimTime, Uid};
+use proptest::prelude::*;
+
+type IpcByUid = BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>>;
+
+/// Random workload: a handful of apps with a couple of IPC types each,
+/// call times in a bounded horizon, plus a set of JGR add times.
+fn workload_strategy() -> impl Strategy<Value = (IpcByUid, Vec<SimTime>)> {
+    let calls = proptest::collection::vec(0u64..2_000_000, 0..120);
+    let apps = proptest::collection::vec((0u32..6, 0u8..3, calls), 1..8);
+    let adds = proptest::collection::vec(0u64..2_000_000, 0..200);
+    (apps, adds).prop_map(|(apps, adds)| {
+        let mut ipc: IpcByUid = BTreeMap::new();
+        for (app, ty, times) in apps {
+            let mut times: Vec<SimTime> =
+                times.into_iter().map(SimTime::from_micros).collect();
+            times.sort_unstable();
+            ipc.entry(Uid::new(10_000 + app))
+                .or_default()
+                .entry(format!("I.type{ty}"))
+                .or_default()
+                .extend(times);
+        }
+        for series in ipc.values_mut().flat_map(|m| m.values_mut()) {
+            series.sort_unstable();
+        }
+        let mut adds: Vec<SimTime> = adds.into_iter().map(SimTime::from_micros).collect();
+        adds.sort_unstable();
+        (ipc, adds)
+    })
+}
+
+fn params(delta_us: u64) -> ScoreParams {
+    ScoreParams {
+        delta: SimDuration::from_micros(delta_us),
+        window: SimDuration::from_millis(8),
+        bin: SimDuration::from_micros(50),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The segment-tree and naive implementations agree everywhere — the
+    /// §V-D.2 optimisation is score-preserving.
+    #[test]
+    fn tree_equals_naive((ipc, adds) in workload_strategy(), delta_us in 50u64..5_000) {
+        let p = params(delta_us);
+        let a = segment_tree_scores(&ipc, &adds, p);
+        let b = naive_scores(&ipc, &adds, p);
+        prop_assert_eq!(a.scores, b.scores);
+        prop_assert_eq!(a.pairs_processed, b.pairs_processed);
+        prop_assert_eq!(a.records_scanned, b.records_scanned);
+    }
+
+    /// Shifting every timestamp by the same offset leaves all scores
+    /// unchanged — the algorithm only looks at deltas.
+    #[test]
+    fn scores_are_shift_invariant(
+        (ipc, adds) in workload_strategy(),
+        shift in 0u64..50_000_000,
+    ) {
+        let p = params(1_800);
+        let base = segment_tree_scores(&ipc, &adds, p);
+        let shifted_ipc: IpcByUid = ipc
+            .iter()
+            .map(|(uid, types)| {
+                (*uid, types.iter().map(|(t, times)| {
+                    (t.clone(), times.iter()
+                        .map(|x| SimTime::from_micros(x.as_micros() + shift))
+                        .collect())
+                }).collect())
+            })
+            .collect();
+        let shifted_adds: Vec<SimTime> = adds
+            .iter()
+            .map(|x| SimTime::from_micros(x.as_micros() + shift))
+            .collect();
+        let shifted = segment_tree_scores(&shifted_ipc, &shifted_adds, p);
+        let base_scores: Vec<(Uid, u64)> =
+            base.scores.iter().map(|s| (s.uid, s.score)).collect();
+        let shifted_scores: Vec<(Uid, u64)> =
+            shifted.scores.iter().map(|s| (s.uid, s.score)).collect();
+        prop_assert_eq!(base_scores, shifted_scores);
+    }
+
+    /// An app's score never depends on *other* apps' traffic: dropping a
+    /// competitor leaves its score unchanged (scores are per-app sums of
+    /// per-type maxima, with no cross-app normalisation).
+    #[test]
+    fn scores_are_per_app_local((ipc, adds) in workload_strategy()) {
+        prop_assume!(ipc.len() >= 2);
+        let p = params(1_800);
+        let full = segment_tree_scores(&ipc, &adds, p);
+        let victim_uid = *ipc.keys().next().expect("non-empty");
+        let mut reduced = ipc.clone();
+        reduced.remove(&victim_uid);
+        let partial = segment_tree_scores(&reduced, &adds, p);
+        for s in &partial.scores {
+            let in_full = full
+                .scores
+                .iter()
+                .find(|f| f.uid == s.uid)
+                .map(|f| f.score)
+                .expect("app present in both runs");
+            prop_assert_eq!(s.score, in_full);
+        }
+    }
+
+    /// Splitting one IPC type's calls into per-path buckets can only
+    /// increase an app's total score (each bucket's max sums; a single
+    /// bucket's max is bounded by the sum of split maxima) — why §VI's
+    /// path classification never hurts.
+    #[test]
+    fn classification_never_lowers_scores(
+        calls in proptest::collection::vec((0u64..2_000_000, 0u8..4), 1..120),
+        adds in proptest::collection::vec(0u64..2_000_000, 1..120),
+    ) {
+        let p = params(1_800);
+        let uid = Uid::new(10_061);
+        let mut merged: IpcByUid = BTreeMap::new();
+        let mut split: IpcByUid = BTreeMap::new();
+        let mut all: Vec<SimTime> = Vec::new();
+        for (at, path) in &calls {
+            let t = SimTime::from_micros(*at);
+            all.push(t);
+            split
+                .entry(uid)
+                .or_default()
+                .entry(format!("I.m#{path}"))
+                .or_default()
+                .push(t);
+        }
+        all.sort_unstable();
+        for series in split.values_mut().flat_map(|m| m.values_mut()) {
+            series.sort_unstable();
+        }
+        merged.entry(uid).or_default().insert("I.m".to_owned(), all);
+        let mut adds: Vec<SimTime> = adds.into_iter().map(SimTime::from_micros).collect();
+        adds.sort_unstable();
+        let merged_score = segment_tree_scores(&merged, &adds, p).scores[0].score;
+        let split_score = segment_tree_scores(&split, &adds, p).scores[0].score;
+        prop_assert!(
+            split_score >= merged_score,
+            "split {split_score} < merged {merged_score}"
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for framework operations.
+
+use std::error::Error;
+use std::fmt;
+
+use jgre_art::ArtError;
+use jgre_binder::BinderError;
+use jgre_corpus::spec::Permission;
+
+/// Errors returned by [`System`](crate::System) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameworkError {
+    /// The uid does not name an installed app.
+    UnknownApp,
+    /// No service registered under this name.
+    UnknownService(String),
+    /// The service exists but has no such method.
+    UnknownMethod {
+        /// Service name.
+        service: String,
+        /// Method name.
+        method: String,
+    },
+    /// The caller lacks the required permission (a `SecurityException`).
+    PermissionDenied {
+        /// The missing permission.
+        permission: Permission,
+    },
+    /// The helper class refused the request after hitting its threshold —
+    /// e.g. `WifiManager`'s *"Exceeded maximum number of wifi locks"*.
+    HelperLimitExceeded {
+        /// Helper class that enforced the limit.
+        helper: String,
+        /// The limit.
+        limit: u32,
+    },
+    /// The target service's hosting process is dead.
+    ServiceDead,
+    /// Underlying Binder failure.
+    Binder(BinderError),
+    /// Underlying runtime failure that is not an abort handled by the
+    /// framework (aborts surface as
+    /// [`CallOutcome::host_aborted`](crate::CallOutcome::host_aborted)).
+    Art(ArtError),
+}
+
+impl fmt::Display for FrameworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameworkError::UnknownApp => write!(f, "unknown app uid"),
+            FrameworkError::UnknownService(name) => write!(f, "unknown service: {name}"),
+            FrameworkError::UnknownMethod { service, method } => {
+                write!(f, "service {service} has no method {method}")
+            }
+            FrameworkError::PermissionDenied { permission } => {
+                write!(f, "permission denied: {}", permission.manifest_name())
+            }
+            FrameworkError::HelperLimitExceeded { helper, limit } => {
+                write!(f, "{helper}: exceeded maximum of {limit} retained requests")
+            }
+            FrameworkError::ServiceDead => write!(f, "service host process is dead"),
+            FrameworkError::Binder(e) => write!(f, "binder: {e}"),
+            FrameworkError::Art(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl Error for FrameworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FrameworkError::Binder(e) => Some(e),
+            FrameworkError::Art(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BinderError> for FrameworkError {
+    fn from(e: BinderError) -> Self {
+        FrameworkError::Binder(e)
+    }
+}
+
+impl From<ArtError> for FrameworkError {
+    fn from(e: ArtError) -> Self {
+        FrameworkError::Art(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = FrameworkError::PermissionDenied {
+            permission: Permission::WakeLock,
+        };
+        assert!(e.to_string().contains("WAKE_LOCK"));
+        let e = FrameworkError::Binder(BinderError::DeadNode);
+        assert!(e.source().is_some());
+        let e = FrameworkError::HelperLimitExceeded {
+            helper: "WifiManager".into(),
+            limit: 50,
+        };
+        assert!(e.to_string().contains("WifiManager"));
+    }
+}

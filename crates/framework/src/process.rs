@@ -1,0 +1,179 @@
+//! The process table.
+
+use std::collections::BTreeMap;
+
+use jgre_art::{Runtime, RuntimeState};
+use jgre_sim::{Pid, SimClock, SimTime, TraceSink, Uid};
+
+/// One simulated process with its own ART runtime.
+#[derive(Debug)]
+pub struct Process {
+    /// Kernel pid.
+    pub pid: Pid,
+    /// Owning uid.
+    pub uid: Uid,
+    /// Process name, e.g. `"system_server"` or a package name.
+    pub name: String,
+    /// The process's runtime (owns the JGR table).
+    pub runtime: Runtime,
+    /// LMK priority; higher is killed first.
+    pub oom_score_adj: i32,
+    /// When the process was last in the foreground (LMK victim ordering).
+    pub last_foreground: SimTime,
+    /// Whether the process is alive.
+    pub alive: bool,
+}
+
+/// Allocates pids and tracks live processes.
+///
+/// # Example
+///
+/// ```
+/// use jgre_framework::ProcessTable;
+/// use jgre_sim::{SimClock, TraceSink, Uid};
+///
+/// let mut table = ProcessTable::new(SimClock::new(), TraceSink::disabled());
+/// let pid = table.spawn(Uid::new(10001), "com.example.app", 0);
+/// assert!(table.get(pid).unwrap().alive);
+/// table.kill(pid);
+/// assert!(table.get(pid).is_none());
+/// ```
+#[derive(Debug)]
+pub struct ProcessTable {
+    clock: SimClock,
+    trace: TraceSink,
+    processes: BTreeMap<Pid, Process>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// Creates an empty table; pids start at 400 (the stock image's ~382
+    /// boot processes occupy the lower range and are modelled as a count,
+    /// not as table entries).
+    pub fn new(clock: SimClock, trace: TraceSink) -> Self {
+        Self {
+            clock,
+            trace,
+            processes: BTreeMap::new(),
+            next_pid: 400,
+        }
+    }
+
+    /// Spawns a process with a fresh runtime.
+    pub fn spawn(&mut self, uid: Uid, name: &str, oom_score_adj: i32) -> Pid {
+        let pid = Pid::new(self.next_pid);
+        self.next_pid += 1;
+        let runtime = Runtime::new(pid, self.clock.clone(), self.trace.clone());
+        self.processes.insert(
+            pid,
+            Process {
+                pid,
+                uid,
+                name: name.to_owned(),
+                runtime,
+                oom_score_adj,
+                last_foreground: self.clock.now(),
+                alive: true,
+            },
+        );
+        self.trace
+            .record(self.clock.now(), Some(pid), Some(uid), "proc.spawn", name);
+        pid
+    }
+
+    /// Removes a process. Idempotent; killing an unknown pid is a no-op.
+    pub fn kill(&mut self, pid: Pid) -> Option<Process> {
+        let removed = self.processes.remove(&pid);
+        if let Some(p) = &removed {
+            self.trace
+                .record(self.clock.now(), Some(pid), Some(p.uid), "proc.kill", &*p.name);
+        }
+        removed
+    }
+
+    /// Immutable access to a live process.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.processes.get(&pid)
+    }
+
+    /// Mutable access to a live process.
+    pub fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.processes.get_mut(&pid)
+    }
+
+    /// Whether the pid is live and its runtime has not aborted.
+    pub fn is_healthy(&self, pid: Pid) -> bool {
+        self.processes
+            .get(&pid)
+            .is_some_and(|p| p.alive && p.runtime.state() == RuntimeState::Running)
+    }
+
+    /// Number of live processes in the table (excludes the modelled stock
+    /// boot processes).
+    pub fn len(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.processes.is_empty()
+    }
+
+    /// Iterates over live processes.
+    pub fn iter(&self) -> impl Iterator<Item = &Process> {
+        self.processes.values()
+    }
+
+    /// Iterates mutably over live processes.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Process> {
+        self.processes.values_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> ProcessTable {
+        ProcessTable::new(SimClock::new(), TraceSink::disabled())
+    }
+
+    #[test]
+    fn spawn_assigns_unique_pids() {
+        let mut t = table();
+        let a = t.spawn(Uid::new(10001), "a", 0);
+        let b = t.spawn(Uid::new(10002), "b", 900);
+        assert_ne!(a, b);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(b).unwrap().oom_score_adj, 900);
+    }
+
+    #[test]
+    fn kill_removes_and_is_idempotent() {
+        let mut t = table();
+        let a = t.spawn(Uid::new(10001), "a", 0);
+        assert!(t.kill(a).is_some());
+        assert!(t.kill(a).is_none());
+        assert!(!t.is_healthy(a));
+    }
+
+    #[test]
+    fn health_tracks_runtime_abort() {
+        let mut t = table();
+        let a = t.spawn(Uid::new(10001), "a", 0);
+        assert!(t.is_healthy(a));
+        // Force an abort by overflowing a tiny runtime substituted in.
+        let p = t.get_mut(a).unwrap();
+        p.runtime = jgre_art::Runtime::with_global_capacity(
+            a,
+            SimClock::new(),
+            TraceSink::disabled(),
+            1,
+        );
+        let o1 = p.runtime.alloc("x");
+        p.runtime.add_global(o1).unwrap();
+        let o2 = p.runtime.alloc("x");
+        assert!(p.runtime.add_global(o2).is_err());
+        assert!(!t.is_healthy(a));
+    }
+}

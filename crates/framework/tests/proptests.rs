@@ -1,0 +1,182 @@
+//! Property-based tests over the whole device: random interleavings of
+//! calls, kills, GCs and launches must preserve the JGR accounting
+//! invariants and never wedge the system.
+
+use jgre_corpus::spec::{AospSpec, JgrBehavior, Protection};
+use jgre_framework::{CallOptions, FrameworkError, System, SystemConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Call interface `iface % catalog` from app `app % apps`.
+    Call { app: usize, iface: usize, spoof: bool },
+    /// Kill app `app % apps`.
+    Kill { app: usize },
+    /// GC system_server.
+    Gc,
+    /// Launch app `app % apps` to the foreground.
+    Launch { app: usize },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<usize>(), any::<usize>(), any::<bool>())
+            .prop_map(|(app, iface, spoof)| Op::Call { app, iface, spoof }),
+        1 => any::<usize>().prop_map(|app| Op::Kill { app }),
+        1 => Just(Op::Gc),
+        1 => any::<usize>().prop_map(|app| Op::Launch { app }),
+    ]
+}
+
+/// A mixed pool of callable interfaces: vulnerable, innocent, bounded.
+fn interface_pool(spec: &AospSpec) -> Vec<(String, String, bool)> {
+    let mut pool = Vec::new();
+    for svc in &spec.services {
+        if svc.native {
+            continue;
+        }
+        for m in &svc.methods {
+            if m.permission.is_none() {
+                let retains_unbounded = m.is_vulnerable();
+                pool.push((svc.name.clone(), m.name.clone(), retains_unbounded));
+            }
+        }
+    }
+    // Keep the pool a manageable, deterministic slice with a mix of kinds.
+    pool.sort();
+    pool.into_iter().step_by(7).take(60).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants after arbitrary operation sequences:
+    /// * killing every app and collecting leaves the JGR table empty
+    ///   (no leak survives its owner);
+    /// * the process count never exceeds the LMK envelope;
+    /// * the system never errors in unexpected ways.
+    #[test]
+    fn random_ops_preserve_accounting(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut system = System::boot_with(SystemConfig {
+            seed: 99,
+            jgr_capacity: Some(100_000), // never abort in this test
+            ..SystemConfig::default()
+        });
+        let spec = system.spec().clone();
+        let pool = interface_pool(&spec);
+        let apps: Vec<_> = (0..5)
+            .map(|i| system.install_app(format!("com.prop{i}"), []))
+            .collect();
+        for op in ops {
+            match op {
+                Op::Call { app, iface, spoof } => {
+                    let (svc, method, _) = &pool[iface % pool.len()];
+                    let options = CallOptions {
+                        spoof_system_package: spoof,
+                        ..CallOptions::default()
+                    };
+                    match system.call_service(apps[app % apps.len()], svc, method, options) {
+                        Ok(_) => {}
+                        Err(FrameworkError::PermissionDenied { .. }) => {}
+                        Err(e) => return Err(TestCaseError::fail(format!("{svc}.{method}: {e}"))),
+                    }
+                }
+                Op::Kill { app } => system.kill_app(apps[app % apps.len()]),
+                Op::Gc => {
+                    let ss = system.system_server_pid();
+                    system.gc_process(ss);
+                }
+                Op::Launch { app } => {
+                    system.launch_app(apps[app % apps.len()]).expect("installed");
+                }
+            }
+            prop_assert!(
+                system.running_app_count() <= 39,
+                "LMK envelope violated: {}",
+                system.running_app_count()
+            );
+        }
+        prop_assert_eq!(system.soft_reboots(), 0, "capacity was unreachable");
+        // Teardown: kill everyone, GC, table must drain completely.
+        for &app in &apps {
+            system.kill_app(app);
+        }
+        let ss = system.system_server_pid();
+        system.gc_process(ss);
+        prop_assert_eq!(
+            system.system_server_jgr_count(),
+            0,
+            "references leaked past their owners' deaths"
+        );
+    }
+
+    /// Retained-entry bookkeeping equals the JGR table for purely
+    /// retaining interfaces: N completed calls on RetainPerCall methods
+    /// leave exactly N entries (× grefs) after GC.
+    #[test]
+    fn retention_accounting_is_exact(calls in proptest::collection::vec(0usize..8, 1..60)) {
+        let mut system = System::boot_with(SystemConfig {
+            seed: 3,
+            jgr_capacity: Some(100_000),
+            ..SystemConfig::default()
+        });
+        let spec = system.spec().clone();
+        let vulnerable: Vec<(String, String, u32)> = spec
+            .vulnerable_service_interfaces()
+            .filter(|(_, m)| m.permission.is_none() && matches!(m.protection, Protection::None))
+            .map(|(s, m)| {
+                let g = match m.jgr {
+                    JgrBehavior::RetainPerCall { grefs_per_call } => grefs_per_call,
+                    _ => unreachable!("vulnerable methods retain"),
+                };
+                (s.name.clone(), m.name.clone(), g)
+            })
+            .collect();
+        let app = system.install_app("com.exact", []);
+        let mut expected = 0usize;
+        for pick in calls {
+            let (svc, method, grefs) = &vulnerable[pick % vulnerable.len()];
+            let o = system
+                .call_service(app, svc, method, CallOptions::default())
+                .expect("no permission needed");
+            prop_assert!(o.status.is_completed());
+            expected += *grefs as usize;
+        }
+        let ss = system.system_server_pid();
+        system.gc_process(ss);
+        prop_assert_eq!(system.system_server_jgr_count(), expected);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Handler-side JNI locals never leak: after any burst of innocent
+    /// calls, a GC returns the host heap to a stable size (the local
+    /// frames popped when each handler returned, so their objects are
+    /// unreachable).
+    #[test]
+    fn handler_locals_do_not_accumulate(bursts in proptest::collection::vec(1usize..40, 1..6)) {
+        let mut system = System::boot_with(SystemConfig {
+            seed: 21,
+            jgr_capacity: Some(50_000),
+            ..SystemConfig::default()
+        });
+        let app = system.install_app("com.local", []);
+        let ss = system.system_server_pid();
+        let mut baseline = None;
+        for burst in bursts {
+            for _ in 0..burst {
+                system
+                    .call_service(app, "clipboard", "getState", CallOptions::default())
+                    .expect("innocent method exists");
+            }
+            system.gc_process(ss);
+            let live = system.heap_live(ss).expect("system_server is alive");
+            match baseline {
+                None => baseline = Some(live),
+                Some(b) => prop_assert_eq!(live, b, "heap grew across GCs"),
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Deterministic discrete-event simulation kernel for the JGRE reproduction.
+//!
+//! Everything in this workspace that needs a notion of *time*, *randomness*,
+//! or *identity* goes through this crate so that whole-system runs are
+//! reproducible from a single seed.
+//!
+//! The kernel is deliberately small:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`SimClock`] — a monotonically advancing clock shared by reference.
+//! * [`EventQueue`] — a stable (FIFO-on-tie) priority queue of timed events.
+//! * [`SimRng`] — a seeded RNG with convenience samplers.
+//! * [`Pid`], [`Uid`], [`Tid`] — process / user / thread identities used by
+//!   the Binder, framework, and defense crates.
+//! * [`TraceSink`] — an in-memory, bounded trace of labelled events used by
+//!   experiments for post-hoc analysis.
+//!
+//! # Example
+//!
+//! ```
+//! use jgre_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! let mut queue = EventQueue::new();
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(5), "b");
+//! queue.schedule(SimTime::ZERO + SimDuration::from_millis(1), "a");
+//! let (t, e) = queue.pop().unwrap();
+//! assert_eq!(e, "a");
+//! assert_eq!(t.as_micros(), 1_000);
+//! ```
+
+mod clock;
+mod event;
+mod ids;
+mod rng;
+mod stats;
+mod trace;
+
+pub use clock::{SimClock, SimDuration, SimTime};
+pub use event::EventQueue;
+pub use ids::{Pid, Tid, Uid};
+pub use rng::SimRng;
+pub use stats::{Samples, Summary};
+pub use trace::{TraceEvent, TraceSink};

@@ -1,0 +1,218 @@
+//! Small summary-statistics helpers for experiment post-processing.
+//!
+//! The experiment runners repeatedly need percentiles, means, and CDF
+//! slices over sampled series (execution times, JGR counts, response
+//! delays). This module centralises that arithmetic so every figure uses
+//! the same definitions.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a numeric sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Minimum value.
+    pub min: u64,
+    /// Maximum value.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (p50).
+    pub median: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+/// Collects values and answers percentile/summary queries.
+///
+/// # Example
+///
+/// ```
+/// use jgre_sim::Samples;
+///
+/// let mut s = Samples::new();
+/// for v in 1..=100u64 {
+///     s.record(v);
+/// }
+/// assert_eq!(s.percentile(50), 50);
+/// assert_eq!(s.percentile(100), 100);
+/// let summary = s.summary().unwrap();
+/// assert_eq!(summary.count, 100);
+/// assert_eq!(summary.min, 1);
+/// assert!((summary.mean - 50.5).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<u64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates from existing values.
+    pub fn from_values(values: impl IntoIterator<Item = u64>) -> Self {
+        let mut s = Self::new();
+        for v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.values.push(value);
+        self.sorted = false;
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no values were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `p`-th percentile (nearest-rank on the sorted data).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collection is empty or `p > 100`.
+    pub fn percentile(&mut self, p: u32) -> u64 {
+        assert!(p <= 100, "percentile out of range: {p}");
+        assert!(!self.values.is_empty(), "percentile of an empty sample set");
+        self.ensure_sorted();
+        let idx = (self.values.len() - 1) * p as usize / 100;
+        self.values[idx]
+    }
+
+    /// Full summary, or `None` when empty.
+    pub fn summary(&mut self) -> Option<Summary> {
+        if self.values.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        let count = self.values.len();
+        let sum: u128 = self.values.iter().map(|&v| v as u128).sum();
+        Some(Summary {
+            count,
+            min: self.values[0],
+            max: self.values[count - 1],
+            mean: sum as f64 / count as f64,
+            median: self.values[(count - 1) / 2],
+            p90: self.values[(count - 1) * 90 / 100],
+            p99: self.values[(count - 1) * 99 / 100],
+        })
+    }
+
+    /// The empirical CDF as `(value, cumulative probability)` points,
+    /// thinned to at most `max_points`.
+    pub fn cdf(&mut self, max_points: usize) -> Vec<(u64, f64)> {
+        if self.values.is_empty() || max_points == 0 {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.values.len();
+        let stride = n.div_ceil(max_points).max(1);
+        let mut points: Vec<(u64, f64)> = (0..n)
+            .step_by(stride)
+            .map(|i| (self.values[i], (i + 1) as f64 / n as f64))
+            .collect();
+        // Always include the endpoint so the CDF reaches 1.0.
+        if points.last().map(|&(v, _)| v) != Some(self.values[n - 1])
+            || points.last().map(|&(_, p)| p) != Some(1.0)
+        {
+            points.push((self.values[n - 1], 1.0));
+        }
+        points
+    }
+}
+
+impl Extend<u64> for Samples {
+    fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
+        for v in iter {
+            self.record(v);
+        }
+    }
+}
+
+impl FromIterator<u64> for Samples {
+    fn from_iter<T: IntoIterator<Item = u64>>(iter: T) -> Self {
+        Self::from_values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_set() {
+        let mut s: Samples = (1..=10u64).collect();
+        let summary = s.summary().unwrap();
+        assert_eq!(summary.count, 10);
+        assert_eq!(summary.min, 1);
+        assert_eq!(summary.max, 10);
+        assert_eq!(summary.median, 5);
+        assert!((summary.mean - 5.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_are_order_independent() {
+        let mut a = Samples::from_values([5, 1, 9, 3, 7]);
+        let mut b = Samples::from_values([9, 7, 5, 3, 1]);
+        for p in [0, 25, 50, 75, 100] {
+            assert_eq!(a.percentile(p), b.percentile(p));
+        }
+    }
+
+    #[test]
+    fn cdf_reaches_one_and_is_monotone() {
+        let mut s: Samples = (0..1000u64).collect();
+        let cdf = s.cdf(50);
+        assert!(cdf.len() <= 51);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for pair in cdf.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+            assert!(pair[0].1 <= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn empty_behaviour() {
+        let mut s = Samples::new();
+        assert!(s.summary().is_none());
+        assert!(s.cdf(10).is_empty());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_of_empty_panics() {
+        Samples::new().percentile(50);
+    }
+
+    #[test]
+    fn record_after_query_resorts() {
+        let mut s = Samples::from_values([10, 20]);
+        assert_eq!(s.percentile(100), 20);
+        s.record(5);
+        assert_eq!(s.percentile(0), 5);
+        assert_eq!(s.len(), 3);
+    }
+}

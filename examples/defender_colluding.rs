@@ -1,0 +1,109 @@
+//! The Figure 9 scenario: four colluding malicious apps each grind a
+//! different vulnerable interface while a deliberately chatty benign app
+//! fires innocent IPC with 0–100 ms gaps. The JGRE Defender's Algorithm 1
+//! must rank all four attackers above the benign app at every Δ, then
+//! kill them one by one until `system_server`'s table drains.
+//!
+//! Run with `cargo run --example defender_colluding`.
+
+use jgre_core::attack::{run_interleaved, Actor, ActorKind, AttackVector};
+use jgre_core::corpus::spec::AospSpec;
+use jgre_core::defense::{DefenderConfig, JgreDefender};
+use jgre_core::framework::{System, SystemConfig};
+use jgre_core::sim::SimDuration;
+
+fn main() {
+    let mut system = System::boot_with(SystemConfig {
+        seed: 2_017,
+        jgr_capacity: Some(6_000),
+        ..SystemConfig::default()
+    });
+    let defender = JgreDefender::install(
+        &mut system,
+        DefenderConfig {
+            record_threshold: 400,
+            trigger_threshold: 1_200,
+            normal_level: 300,
+            ..DefenderConfig::default()
+        },
+    );
+
+    let spec = AospSpec::android_6_0_1();
+    let targets = [
+        ("accessibility", "addClient"),
+        ("mount", "registerListener"),
+        ("textservices", "getSpellCheckerService"),
+        ("input_method", "addClient"),
+    ];
+    let mut actors = Vec::new();
+    let mut attackers = Vec::new();
+    for (i, (svc, method)) in targets.iter().enumerate() {
+        let vector = AttackVector::service_vectors(&spec)
+            .into_iter()
+            .find(|v| &v.service == svc && &v.method == method)
+            .expect("all four targets are in Table I");
+        let uid = system.install_app(format!("com.collude{i}"), vector.permissions.clone());
+        println!("attacker {uid} -> {svc}.{method}");
+        attackers.push(uid);
+        actors.push(Actor {
+            uid,
+            kind: ActorKind::Attacker(vector),
+        });
+    }
+    let benign = system.install_app("com.benign.chatty", []);
+    println!("benign   {benign} -> innocent calls every 0-100 ms\n");
+    actors.push(Actor {
+        uid: benign,
+        kind: ActorKind::ChattyBenign {
+            max_gap: SimDuration::from_millis(100),
+        },
+    });
+
+    // Interleave everyone until the alarm trips, then look at the scores
+    // for the three Δ values of Figure 9.
+    loop {
+        run_interleaved(
+            &mut system,
+            actors.clone(),
+            SimDuration::from_millis(500),
+            2_017,
+            true,
+        );
+        if !defender.monitor().alarmed_pids().is_empty() {
+            break;
+        }
+    }
+    let victim = system.system_server_pid();
+    for delta_us in [79u64, 1_900, 3_583] {
+        let report = defender
+            .score_only(&system, victim, SimDuration::from_micros(delta_us))
+            .expect("alarm means a recording exists");
+        println!("Δ = {delta_us}µs — suspicious IPC call counts:");
+        for s in report.scores.iter().take(5) {
+            println!(
+                "  {}: {:>6}  ({})",
+                s.uid,
+                s.score,
+                if attackers.contains(&s.uid) {
+                    "malicious"
+                } else {
+                    "benign"
+                }
+            );
+        }
+    }
+
+    // Recovery: the defender kills by rank until the table is normal.
+    let detection = defender.poll(&mut system).expect("alarm raised");
+    println!(
+        "\nkilled in order: {:?} (benign app survived: {})",
+        detection.killed,
+        !detection.killed.contains(&benign)
+    );
+    assert!(detection.killed.iter().all(|uid| attackers.contains(uid)));
+    assert_eq!(system.soft_reboots(), 0);
+    println!(
+        "system_server JGR after recovery: {}",
+        system.system_server_jgr_count()
+    );
+}

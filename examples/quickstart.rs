@@ -1,0 +1,104 @@
+//! Quickstart: exhaust `system_server`'s JGR table with the wifi-lock
+//! exploit (the paper's Code-Snippet 2), watch the device soft-reboot,
+//! then install the JGRE Defender and watch the same attack get stopped.
+//!
+//! Run with `cargo run --example quickstart`. Uses a reduced table
+//! capacity so the demo finishes instantly; pass `--paper` for the real
+//! 51200-entry table.
+
+use jgre_core::defense::{DefenderConfig, JgreDefender};
+use jgre_core::framework::{CallOptions, System, SystemConfig};
+
+fn main() {
+    let paper = std::env::args().any(|a| a == "--paper");
+    let (capacity, config) = if paper {
+        (jgre_core::art::MAX_GLOBAL_REFS, SystemConfig::default())
+    } else {
+        (
+            4_000,
+            SystemConfig {
+                jgr_capacity: Some(4_000),
+                ..SystemConfig::default()
+            },
+        )
+    };
+
+    // ---- Part 1: the attack, undefended -------------------------------
+    println!("== JGRE attack on an undefended device (cap = {capacity}) ==");
+    let mut system = System::boot_with(config.clone());
+    // The malicious app declares WAKE_LOCK (a normal permission, granted
+    // silently at install).
+    let mal = system.install_app(
+        "com.evil.app",
+        [jgre_core::corpus::spec::Permission::WakeLock],
+    );
+    let mut calls = 0u64;
+    loop {
+        // IWifiManager.acquireWifiLock, straight at the Binder interface —
+        // WifiManager's MAX_ACTIVE_LOCKS never runs.
+        let outcome = system
+            .call_service(mal, "wifi", "acquireWifiLock", CallOptions::default())
+            .expect("wifi service is registered");
+        calls += 1;
+        if calls.is_multiple_of(capacity as u64 / 4) {
+            println!(
+                "  {:>7} calls, system_server JGR = {}",
+                calls, outcome.host_jgr_count
+            );
+        }
+        if outcome.host_aborted {
+            println!(
+                "  {:>7} calls: global reference table overflow — system_server aborted",
+                calls
+            );
+            break;
+        }
+    }
+    println!(
+        "  device soft-rebooted {} time(s) after {:.1}s of attack\n",
+        system.soft_reboots(),
+        system.now().as_secs_f64()
+    );
+
+    // ---- Part 2: the same attack, defended ----------------------------
+    println!("== the same attack against the JGRE Defender ==");
+    let mut system = System::boot_with(config);
+    let defender_config = if paper {
+        DefenderConfig::default()
+    } else {
+        DefenderConfig {
+            record_threshold: 300,
+            trigger_threshold: 1_000,
+            normal_level: 250,
+            ..DefenderConfig::default()
+        }
+    };
+    let defender = JgreDefender::install(&mut system, defender_config);
+    let mal = system.install_app(
+        "com.evil.app",
+        [jgre_core::corpus::spec::Permission::WakeLock],
+    );
+    let mut calls = 0u64;
+    loop {
+        let outcome = system
+            .call_service(mal, "wifi", "acquireWifiLock", CallOptions::default())
+            .expect("wifi service is registered");
+        calls += 1;
+        assert!(!outcome.host_aborted, "the defense must fire first");
+        if let Some(detection) = defender.poll(&mut system) {
+            println!(
+                "  alarm after {calls} calls; Algorithm 1 ranked and killed {:?}",
+                detection.killed
+            );
+            println!(
+                "  response delay {} ({} correlation round(s)); victim JGR back to {}",
+                detection.response_delay,
+                detection.rounds,
+                detection.victim_jgr_after.expect("victim survived")
+            );
+            break;
+        }
+    }
+    assert_eq!(system.soft_reboots(), 0);
+    println!("  no reboot: the device survived.");
+}

@@ -1,0 +1,99 @@
+//! The `enqueueToast` protection-bypass of §IV-C.2 (Code-Snippet 3):
+//! `NotificationManagerService` caps toasts per package — unless the
+//! caller *claims* to be the `"android"` package, which the service
+//! trusts. The same demo shows a *sound* per-process limit
+//! (`display.registerCallback`) resisting both attempts, and a helper
+//! protection (Table II) falling to a direct Binder call.
+//!
+//! Run with `cargo run --example toast_spoof`.
+
+use jgre_core::framework::{CallOptions, CallStatus, FrameworkError, System, SystemConfig};
+
+fn main() {
+    let mut system = System::boot_with(SystemConfig {
+        jgr_capacity: Some(8_000),
+        ..SystemConfig::default()
+    });
+    let app = system.install_app("com.evil.toaster", []);
+
+    // 1. Honest flood: the per-package cap holds at 50.
+    let mut completed = 0;
+    for _ in 0..100 {
+        let o = system
+            .call_service(app, "notification", "enqueueToast", CallOptions::default())
+            .expect("notification service is registered");
+        if o.status == CallStatus::Completed {
+            completed += 1;
+        }
+    }
+    println!("honest enqueueToast: {completed}/100 accepted (cap = 50) — protection looks fine");
+
+    // 2. The spoof: pass pkg = "android" and the cap never applies.
+    let spoof = CallOptions {
+        spoof_system_package: true,
+        ..CallOptions::default()
+    };
+    let mut spoofed = 0;
+    for _ in 0..200 {
+        let o = system
+            .call_service(app, "notification", "enqueueToast", spoof.clone())
+            .expect("notification service is registered");
+        if o.status == CallStatus::Completed {
+            spoofed += 1;
+        }
+    }
+    println!(
+        "spoofed enqueueToast: {spoofed}/200 accepted — {} toast records retained, JGR table at {}",
+        system.retained_entries("notification", "enqueueToast"),
+        system.system_server_jgr_count()
+    );
+
+    // 3. A sound per-process limit shrugs both attempts off.
+    for options in [CallOptions::default(), spoof] {
+        let mut ok = 0;
+        for _ in 0..20 {
+            if system
+                .call_service(app, "display", "registerCallback", options.clone())
+                .expect("display service is registered")
+                .status
+                .is_completed()
+            {
+                ok += 1;
+            }
+        }
+        println!(
+            "display.registerCallback ({}): {ok}/20 accepted",
+            if options.spoof_system_package {
+                "spoofed"
+            } else {
+                "honest"
+            }
+        );
+    }
+
+    // 4. And the Table II pattern: the helper class says no, Binder says yes.
+    let benign = system.install_app(
+        "com.wellbehaved",
+        [jgre_core::corpus::spec::Permission::WakeLock],
+    );
+    let mut via_helper = 0;
+    loop {
+        match system.call_service(benign, "wifi", "acquireWifiLock", CallOptions::benign()) {
+            Ok(_) => via_helper += 1,
+            Err(FrameworkError::HelperLimitExceeded { helper, limit }) => {
+                println!("{helper} refused after {via_helper} locks (MAX_ACTIVE_LOCKS = {limit})");
+                break;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+    }
+    for _ in 0..150 {
+        system
+            .call_service(benign, "wifi", "acquireWifiLock", CallOptions::default())
+            .expect("direct Binder path has no client-side check");
+    }
+    println!(
+        "direct Binder path: {} wifi locks retained — the helper was decoration",
+        system.retained_entries("wifi", "acquireWifiLock")
+    );
+}

@@ -1,0 +1,188 @@
+//! `jgre` — command-line front-end for the reproduction.
+//!
+//! ```console
+//! $ jgre headline                 # §IV counts (quick scale)
+//! $ jgre --paper fig3             # Figure 3 at the real 51200 capacity
+//! $ jgre table2 --json            # Table II as JSON
+//! $ jgre all --paper              # every artifact, like `cargo bench`
+//! ```
+
+use std::process::ExitCode;
+
+use jgre_core::{experiments, ExperimentScale};
+
+const USAGE: &str = "\
+jgre — reproduce 'JGRE: JNI Global Reference Exhaustion in Android' (DSN 2017)
+
+USAGE: jgre [--paper] [--json] [--seed N] <command>
+
+COMMANDS:
+  headline     §IV analysis counts (104/54/32/22, 147/67 paths, ...)
+  table1       Table I  — 44 unprotected vulnerable interfaces
+  table2       Table II — helper-class protections, bypassed live
+  table3       Table III — per-process limits and the toast spoof
+  table4       Table IV — vulnerable prebuilt apps
+  table5       Table V  — vulnerable Play-store apps
+  fig3         Figure 3 — exhaustion curves for all 54 interfaces
+  fig4         Figure 4 — benign baseline (JGR band, process count)
+  fig5         Figure 5 — execution-time growth under attack
+  fig6         Figure 6 — execution-time CDF (1000 calls/interface)
+  fig8         Figure 8 — attacker vs benign suspicious-call counts
+  fig9         Figure 9 — four colluders, Δ sweep
+  fig10        Figure 10 — defense IPC overhead vs payload
+  response     §V-D.1 — detection delays for all 57 interfaces
+  defend       §V-C  — drive all 57 attacks against the defender
+  all          run everything above in order
+
+OPTIONS:
+  --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
+               (default: quick 1/16 scale)
+  --json       print the raw JSON instead of the rendered table
+  --seed N     override the experiment seed (default 2017)
+";
+
+struct Options {
+    scale: ExperimentScale,
+    json: bool,
+}
+
+fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
+    if options.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(data).expect("experiment structs serialise")
+        );
+    } else {
+        println!("{rendered}");
+    }
+}
+
+fn run(command: &str, options: &Options) -> Result<(), String> {
+    let scale = options.scale;
+    match command {
+        "headline" => {
+            let r = experiments::analysis_headline(scale);
+            emit(options, &r, r.render());
+        }
+        "table1" => {
+            let r = experiments::table1(scale);
+            emit(options, &r, r.render());
+        }
+        "table2" => {
+            let r = experiments::table2(scale);
+            emit(options, &r, r.render());
+        }
+        "table3" => {
+            let r = experiments::table3(scale);
+            emit(options, &r, r.render());
+        }
+        "table4" => {
+            let r = experiments::table4(scale);
+            emit(options, &r, r.render());
+        }
+        "table5" => {
+            let r = experiments::table5(scale);
+            emit(options, &r, r.render());
+        }
+        "fig3" => {
+            let r = experiments::fig3(scale);
+            emit(options, &r, r.render());
+        }
+        "fig4" => {
+            let (apps, secs) = if scale.jgr_capacity == jgre_core::art::MAX_GLOBAL_REFS {
+                (300, 120)
+            } else {
+                (60, 20)
+            };
+            let r = experiments::fig4(scale, apps, secs);
+            emit(options, &r, r.render());
+        }
+        "fig5" => {
+            let r = experiments::fig5(scale);
+            emit(options, &r, r.render());
+        }
+        "fig6" => {
+            let calls = if scale.jgr_capacity == jgre_core::art::MAX_GLOBAL_REFS {
+                1_000
+            } else {
+                200
+            };
+            let r = experiments::fig6(scale, calls);
+            emit(options, &r, r.render());
+        }
+        "fig8" => {
+            let r = experiments::fig8(scale, 10, usize::MAX);
+            emit(options, &r, r.render());
+        }
+        "fig9" => {
+            let r = experiments::fig9(scale);
+            emit(options, &r, r.render());
+        }
+        "fig10" => {
+            let r = experiments::fig10(scale, 500);
+            emit(options, &r, r.render());
+        }
+        "response" => {
+            let r = experiments::response_delay(scale);
+            emit(options, &r, r.render());
+        }
+        "defend" => {
+            let r = experiments::defense_effectiveness(scale);
+            emit(options, &r, r.render());
+        }
+        "all" => {
+            for cmd in [
+                "headline", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4",
+                "fig5", "fig6", "fig8", "fig9", "fig10", "response", "defend",
+            ] {
+                eprintln!("== {cmd} ==");
+                run(cmd, options)?;
+            }
+        }
+        other => return Err(format!("unknown command: {other}\n\n{USAGE}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = ExperimentScale::quick();
+    let mut json = false;
+    let mut command = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--paper" => scale = ExperimentScale::paper(),
+            "--json" => json = true,
+            "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(seed)) => scale = scale.with_seed(seed),
+                _ => {
+                    eprintln!("--seed needs a number\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            cmd if command.is_none() && !cmd.starts_with('-') => {
+                command = Some(cmd.to_owned());
+            }
+            other => {
+                eprintln!("unexpected argument: {other}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(command) = command else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match run(&command, &Options { scale, json }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}

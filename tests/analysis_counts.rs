@@ -1,0 +1,38 @@
+//! Cross-crate check of the paper's §IV statistics through the public
+//! facade (T-ANALYSIS in DESIGN.md).
+
+use jgre_repro::core::{experiments, ExperimentScale};
+
+#[test]
+fn headline_statistics_match_the_paper() {
+    let h = experiments::analysis_headline(ExperimentScale::quick());
+    assert_eq!(h.services_total, 104, "104 system services on 6.0.1");
+    assert_eq!(h.native_services, 5, "5 native services");
+    assert_eq!(h.vulnerable_interfaces, 54, "54 vulnerable IPC interfaces");
+    assert_eq!(h.vulnerable_services, 32, "32 vulnerable system services");
+    assert_eq!(h.zero_permission_services, 22, "22 zero-permission services");
+    assert_eq!(h.prebuilt_interfaces, 3, "3 interfaces in prebuilt apps");
+    assert_eq!(h.third_party_apps, 3, "3 of 1000 Play apps");
+    assert_eq!(h.native_paths_total, 147, "147 native paths");
+    assert_eq!(h.native_paths_init_only, 67, "67 init-only paths filtered");
+    assert!(h.ipc_methods > 2_000, "thousands of IPC methods");
+}
+
+#[test]
+fn tables_1_4_5_shapes() {
+    let scale = ExperimentScale::quick();
+    let t1 = experiments::table1(scale);
+    assert_eq!(t1.rows.len(), 44, "Table I has 44 interfaces");
+    assert_eq!(t1.service_split, (19, 4, 3), "§IV-B permission split");
+
+    let t4 = experiments::table4(scale);
+    assert_eq!(t4.rows.len(), 3);
+    assert!(t4
+        .rows
+        .iter()
+        .any(|r| r.method == "ITextToSpeechService.setCallback"));
+
+    let t5 = experiments::table5(scale);
+    assert_eq!(t5.rows.len(), 3);
+    assert!(t5.rows.iter().any(|r| r.app == "Supernet VPN"));
+}

@@ -1,0 +1,52 @@
+//! The `jgre` CLI binary, driven end to end.
+
+use std::process::Command;
+
+fn jgre() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_jgre"))
+}
+
+#[test]
+fn headline_renders_the_counts() {
+    let out = jgre().arg("headline").output().expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("54 in 32 system services"), "{stdout}");
+    assert!(stdout.contains("147 total, 67 init-only filtered"), "{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = jgre().args(["table4", "--json"]).output().expect("binary runs");
+    assert!(out.status.success());
+    let parsed: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(parsed["rows"].as_array().map(|r| r.len()), Some(3));
+    assert_eq!(parsed["apps_scanned"], 88);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = jgre().arg("nonsense").output().expect("binary runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command: nonsense"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn help_prints_and_succeeds() {
+    let out = jgre().arg("--help").output().expect("binary runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("COMMANDS"));
+}
+
+#[test]
+fn seed_flag_is_parsed() {
+    let out = jgre()
+        .args(["--seed", "nope", "headline"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs a number"));
+}

@@ -1,0 +1,129 @@
+//! End-to-end scenarios through the public facade: exhaustion → soft
+//! reboot, protections and their bypasses, and run-to-run determinism.
+
+use jgre_repro::core::corpus::spec::Permission;
+use jgre_repro::core::framework::{CallOptions, CallStatus, System, SystemConfig};
+use jgre_repro::core::{experiments, ExperimentScale};
+
+fn small_system(seed: u64) -> System {
+    System::boot_with(SystemConfig {
+        seed,
+        jgr_capacity: Some(2_000),
+        ..SystemConfig::default()
+    })
+}
+
+#[test]
+fn clipboard_attack_soft_reboots_and_device_recovers() {
+    let mut system = small_system(1);
+    let mal = system.install_app("com.evil", []);
+    let mut calls = 0;
+    loop {
+        let o = system
+            .call_service(mal, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .unwrap();
+        calls += 1;
+        if o.host_aborted {
+            break;
+        }
+        assert!(calls < 3_000, "attack must exhaust a 2000-entry table");
+    }
+    assert_eq!(system.soft_reboots(), 1);
+    assert_eq!(system.system_server_jgr_count(), 0);
+    // The rebooted device serves benign traffic again.
+    let benign = system.install_app("com.fine", [Permission::WakeLock]);
+    let o = system
+        .call_service(benign, "power", "acquireWakeLock", CallOptions::default())
+        .unwrap();
+    assert!(o.status.is_completed());
+}
+
+#[test]
+fn prebuilt_app_attack_kills_only_the_app() {
+    let mut system = small_system(2);
+    let mal = system.install_app("com.evil", []);
+    loop {
+        match system.call_service(mal, "bluetooth_gatt", "registerServer", CallOptions::default()) {
+            Ok(o) if o.host_aborted => break,
+            Ok(_) => {}
+            Err(e) => panic!("{e}"),
+        }
+    }
+    assert_eq!(system.soft_reboots(), 0, "system_server unaffected");
+    // Other services still fine.
+    let o = system
+        .call_service(mal, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .unwrap();
+    assert!(o.status.is_completed());
+}
+
+#[test]
+fn protections_table_verdicts() {
+    let t2 = experiments::table2(ExperimentScale::quick());
+    assert_eq!(t2.rows.len(), 9, "Table II");
+    assert!(t2.rows.iter().all(|r| r.direct_binder_bypasses));
+
+    let t3 = experiments::table3(ExperimentScale::quick());
+    assert_eq!(t3.rows.len(), 4, "Table III");
+    assert_eq!(t3.rows.iter().filter(|r| r.protected).count(), 3);
+    assert_eq!(
+        t3.rows.iter().filter(|r| r.spoof_bypasses).count(),
+        1,
+        "only enqueueToast falls to the package spoof"
+    );
+}
+
+#[test]
+fn kill_releases_exactly_the_attackers_entries() {
+    let mut system = small_system(3);
+    let a = system.install_app("com.a", []);
+    let b = system.install_app("com.b", []);
+    for _ in 0..30 {
+        system
+            .call_service(a, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .unwrap();
+    }
+    for _ in 0..10 {
+        system
+            .call_service(b, "media_session", "createSession", CallOptions::default())
+            .unwrap();
+    }
+    assert_eq!(system.system_server_jgr_count(), 40);
+    system.kill_app(a);
+    assert_eq!(system.system_server_jgr_count(), 10);
+    system.kill_app(b);
+    assert_eq!(system.system_server_jgr_count(), 0);
+}
+
+#[test]
+fn same_seed_reproduces_identical_experiments() {
+    let s = ExperimentScale::quick();
+    let f9a = experiments::fig9(s);
+    let f9b = experiments::fig9(s);
+    assert_eq!(f9a, f9b, "fig9 must be bit-for-bit deterministic");
+    let f10a = experiments::fig10(s, 50);
+    let f10b = experiments::fig10(s, 50);
+    assert_eq!(f10a, f10b);
+}
+
+#[test]
+fn server_limit_rejection_has_no_jgr_side_effect() {
+    let mut system = small_system(4);
+    let app = system.install_app("com.probe", []);
+    // Exhaust the per-process cap, then hammer the rejected path.
+    let mut completed = 0;
+    for _ in 0..40 {
+        let o = system
+            .call_service(app, "display", "registerCallback", CallOptions::default())
+            .unwrap();
+        if o.status == CallStatus::Completed {
+            completed += 1;
+        } else {
+            assert_eq!(o.jgr_created, 0);
+        }
+    }
+    assert_eq!(completed, 1, "display caps at one callback per process");
+    let ss = system.system_server_pid();
+    system.gc_process(ss);
+    assert_eq!(system.system_server_jgr_count(), 1);
+}

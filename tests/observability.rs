@@ -1,0 +1,87 @@
+//! The trace layer: with tracing on, a run leaves a forensic record —
+//! transactions, JGR traffic, GCs, the abort with its reference-table
+//! dump, and the soft reboot — the same breadcrumbs the paper's modified
+//! image logs.
+
+use jgre_repro::core::framework::{CallOptions, System, SystemConfig};
+
+fn traced_system() -> System {
+    System::boot_with(SystemConfig {
+        seed: 5,
+        jgr_capacity: Some(400),
+        tracing: true,
+        ..SystemConfig::default()
+    })
+}
+
+#[test]
+fn attack_leaves_a_complete_trace() {
+    let mut system = traced_system();
+    let app = system.install_app("com.traced", []);
+    loop {
+        let o = system
+            .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .unwrap();
+        if o.host_aborted {
+            break;
+        }
+    }
+    let trace = system.trace();
+    assert!(!trace.of_kind("binder.transact").is_empty());
+    assert!(!trace.of_kind("jgr.add").is_empty());
+    assert!(!trace.of_kind("proc.spawn").is_empty());
+    let aborts = trace.of_kind("art.abort");
+    assert_eq!(aborts.len(), 1);
+    let abort = &aborts[0];
+    assert!(
+        abort.detail.contains("global reference table overflow (max=400)"),
+        "{}",
+        abort.detail
+    );
+    // The abort message carries ART's class summary; the attack pinned
+    // BpBinder peers through BinderProxy finalizers.
+    assert!(abort.detail.contains("android::BpBinder"), "{}", abort.detail);
+    let reboots = trace.of_kind("system.soft_reboot");
+    assert_eq!(reboots.len(), 1);
+    assert!(reboots[0].detail.contains("reboot #1"));
+    // Events are attributed to the right processes.
+    let transact = &trace.of_kind("binder.transact")[0];
+    assert!(transact.uid.is_some_and(|u| u.is_app()));
+    assert_eq!(transact.detail, "IClipboard.addPrimaryClipChangedListener");
+}
+
+#[test]
+fn gc_and_kill_are_traced() {
+    let mut system = traced_system();
+    let app = system.install_app("com.traced", []);
+    for _ in 0..5 {
+        system
+            .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .unwrap();
+    }
+    system.kill_app(app);
+    let trace = system.trace();
+    assert!(!trace.of_kind("proc.kill").is_empty());
+    let gcs = trace.of_kind("art.gc");
+    assert!(
+        gcs.iter().any(|e| e.detail.contains("globals_released=5")),
+        "kill must trigger a GC that releases the app's 5 entries: {:?}",
+        gcs.iter().map(|e| &e.detail).collect::<Vec<_>>()
+    );
+    assert!(!trace.of_kind("jgr.remove").is_empty());
+}
+
+#[test]
+fn tracing_off_keeps_the_sink_empty() {
+    let mut system = System::boot_with(SystemConfig {
+        seed: 5,
+        jgr_capacity: Some(400),
+        tracing: false,
+        ..SystemConfig::default()
+    });
+    let app = system.install_app("com.silent", []);
+    system
+        .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .unwrap();
+    assert!(system.trace().is_empty());
+}
