@@ -1,0 +1,62 @@
+//! `any::<T>()` support for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T`, e.g. `any::<usize>()`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for a primitive type.
+#[derive(Debug, Clone, Default)]
+pub struct FullRange<T>(PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for FullRange<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = FullRange<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                FullRange(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for FullRange<bool> {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FullRange<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        FullRange(PhantomData)
+    }
+}

@@ -1,0 +1,153 @@
+//! Tiny regex-shaped string generator backing `&'static str` strategies.
+//!
+//! Supports the subset the test suites use: literal characters, character
+//! classes `[a-z0-9 ]`, and quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (star/plus are capped at 8 repetitions, as generation needs a bound).
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Sample a string matching `pattern`.
+///
+/// # Panics
+///
+/// Panics on constructs outside the supported subset (anchors, groups,
+/// alternation, negated classes).
+pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = rng.range_u64(piece.min as u64, piece.max as u64) as usize;
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| u64::from(*hi as u32 - *lo as u32) + 1)
+                .sum();
+            let mut pick = rng.range_u64(0, total - 1);
+            for (lo, hi) in ranges {
+                let span = u64::from(*hi as u32 - *lo as u32) + 1;
+                if pick < span {
+                    return char::from_u32(*lo as u32 + pick as u32)
+                        .expect("class ranges cover valid chars");
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"))
+                    + i;
+                let inner = &chars[i + 1..close];
+                assert!(
+                    inner.first() != Some(&'^'),
+                    "negated classes unsupported in pattern `{pattern}`"
+                );
+                let mut ranges = Vec::new();
+                let mut j = 0;
+                while j < inner.len() {
+                    if j + 2 < inner.len() && inner[j + 1] == '-' {
+                        ranges.push((inner[j], inner[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((inner[j], inner[j]));
+                        j += 1;
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern `{pattern}`");
+                i = close + 1;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let escaped = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling `\\` in pattern `{pattern}`"));
+                i += 2;
+                match escaped {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    other => Atom::Literal(other),
+                }
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!(
+                    "unsupported regex construct `{}` in pattern `{pattern}`",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in pattern `{pattern}`");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}

@@ -1,0 +1,99 @@
+//! Test-harness support types: configuration, case outcomes, and the
+//! deterministic random source backing every strategy.
+
+use std::fmt;
+
+/// Per-test configuration; only the case count is supported.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The outcome of one sampled test case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case did not meet a precondition and should be resampled.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure outcome.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Build a rejection outcome.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 stream seeded from the test's name, so every
+/// run of a given test samples the same inputs (no persistence files).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the stream from a test name.
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive) over `u64`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo <= hi);
+        let span = u128::from(hi - lo) + 1;
+        lo + (u128::from(self.next_u64()) % span) as u64
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive) over `i128` arithmetic,
+    /// for signed strategies.
+    pub fn range_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}

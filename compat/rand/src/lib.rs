@@ -1,0 +1,151 @@
+//! Minimal, offline, API-compatible subset of `rand` 0.8.
+//!
+//! Provides exactly the surface the jgre workspace uses: `StdRng` seeded
+//! via `SeedableRng::seed_from_u64`, `RngCore::next_u64`, and
+//! `Rng::{gen_range, gen_bool}` over integer ranges. The generator is a
+//! SplitMix64 stream — statistically fine for simulation workloads and,
+//! more importantly here, fully deterministic per seed. No test in the
+//! workspace pins exact stream values, only reproducibility.
+
+/// Core random number generation trait.
+pub trait RngCore {
+    /// Return the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Namespace matching `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic generator standing in for `rand::rngs::StdRng`.
+    ///
+    /// Implemented as SplitMix64: each draw advances an odd-gamma counter
+    /// and mixes it through two xor-multiply rounds.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng { state: seed };
+            // Discard one output so that small consecutive seeds do not
+            // produce visibly correlated first draws.
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Namespace matching `rand::distributions`.
+pub mod distributions {
+    /// Namespace matching `rand::distributions::uniform`.
+    pub mod uniform {
+        use std::ops::{Range, RangeInclusive};
+
+        /// Types that can be sampled uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Sample uniformly from `[lo, hi]` given a 64-bit draw source.
+            fn sample_inclusive(lo: Self, hi: Self, draw: &mut dyn FnMut() -> u64) -> Self;
+
+            /// The predecessor of `self`, used to convert half-open ranges
+            /// into inclusive bounds.
+            fn prev(self) -> Self;
+        }
+
+        macro_rules! impl_sample_uniform {
+            ($($t:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_inclusive(
+                        lo: Self,
+                        hi: Self,
+                        draw: &mut dyn FnMut() -> u64,
+                    ) -> Self {
+                        assert!(lo <= hi, "cannot sample from an empty range");
+                        let span = (hi as i128) - (lo as i128) + 1;
+                        let offset = (draw() as i128).rem_euclid(span);
+                        ((lo as i128) + offset) as $t
+                    }
+
+                    fn prev(self) -> Self {
+                        self.wrapping_sub(1)
+                    }
+                }
+            )*};
+        }
+
+        impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+        /// Ranges that can drive a uniform sample of `T`.
+        pub trait SampleRange<T> {
+            /// Sample a value from this range.
+            fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for Range<T> {
+            fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+                assert!(self.start < self.end, "cannot sample from an empty range");
+                T::sample_inclusive(self.start, self.end.prev(), draw)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for RangeInclusive<T> {
+            fn sample_from(self, draw: &mut dyn FnMut() -> u64) -> T {
+                T::sample_inclusive(*self.start(), *self.end(), draw)
+            }
+        }
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every
+/// [`RngCore`] like in real `rand`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: distributions::uniform::SampleUniform,
+        R: distributions::uniform::SampleRange<T>,
+    {
+        let mut draw = || self.next_u64();
+        range.sample_from(&mut draw)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        // 53 uniform mantissa bits, the same resolution real rand uses.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}

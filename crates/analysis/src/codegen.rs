@@ -138,8 +138,14 @@ mod tests {
             .find(|r| r.ipc.method == "enqueueToast")
             .expect("toast is risky");
         let case = generate_test_case(toast, &spec);
-        assert!(case.java_source.contains("\"android\""), "{}", case.java_source);
-        assert!(case.java_source.contains("INotificationManager.Stub.asInterface"));
+        assert!(
+            case.java_source.contains("\"android\""),
+            "{}",
+            case.java_source
+        );
+        assert!(case
+            .java_source
+            .contains("INotificationManager.Stub.asInterface"));
         assert!(case.permissions.is_empty(), "zero-permission exploit");
     }
 
@@ -148,12 +154,23 @@ mod tests {
         let (spec, risky) = risky_set();
         let listen = risky
             .iter()
-            .find(|r| r.ipc.service == "telephony.registry" && r.ipc.method == "listenForSubscriber")
+            .find(|r| {
+                r.ipc.service == "telephony.registry" && r.ipc.method == "listenForSubscriber"
+            })
             .expect("listenForSubscriber is risky");
         let case = generate_test_case(listen, &spec);
-        assert_eq!(case.permissions, vec!["android.permission.READ_PHONE_STATE"]);
-        assert!(case.java_source.contains("getPackageName()"), "no spoof needed");
-        assert!(case.java_source.contains("new Binder()"), "callback argument");
+        assert_eq!(
+            case.permissions,
+            vec!["android.permission.READ_PHONE_STATE"]
+        );
+        assert!(
+            case.java_source.contains("getPackageName()"),
+            "no spoof needed"
+        );
+        assert!(
+            case.java_source.contains("new Binder()"),
+            "callback argument"
+        );
     }
 
     #[test]

@@ -142,9 +142,10 @@ impl<'m> VulnerableIpcDetector<'m> {
             .filter(|m| Some(*m) != self.entries.thread_native_create)
             .collect();
         if non_thread_entries.is_empty() && has_binder_params {
-            let transient = def.binder_params.iter().all(|u| {
-                matches!(u, ParamUsage::LocalOnly | ParamUsage::ReadOnlyMapKey)
-            });
+            let transient = def
+                .binder_params
+                .iter()
+                .all(|u| matches!(u, ParamUsage::LocalOnly | ParamUsage::ReadOnlyMapKey));
             if transient {
                 return Classification::Sifted(SiftReason::TransientUsage);
             }
@@ -235,8 +236,7 @@ mod tests {
     #[test]
     fn sift_rules_fire() {
         let out = detect();
-        let reasons: std::collections::BTreeSet<_> =
-            out.sifted.iter().map(|(_, r)| *r).collect();
+        let reasons: std::collections::BTreeSet<_> = out.sifted.iter().map(|(_, r)| *r).collect();
         assert!(reasons.contains(&SiftReason::ThreadCreateOnly), "rule 1");
         assert!(reasons.contains(&SiftReason::TransientUsage), "rules 2-3");
         assert!(reasons.contains(&SiftReason::ReplacedMember), "rule 4");

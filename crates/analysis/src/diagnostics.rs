@@ -1,0 +1,445 @@
+//! Diagnostics layer: stable rule ids, severities, and a SARIF-shaped
+//! JSON export for the `jgre lint` front-end.
+//!
+//! Verdict rows from the [`DataflowDetector`](crate::DataflowDetector)
+//! become [`Diagnostic`]s with witness provenance; the whole set plus the
+//! accuracy report against the spec ground truth forms a [`LintReport`],
+//! exportable as SARIF 2.1.0 (built by hand on the vendored
+//! [`Value`] tree — the subset GitHub code scanning and VS Code ingest).
+
+use serde::{Deserialize, Serialize, Value};
+
+use jgre_corpus::spec::AospSpec;
+use jgre_corpus::CodeModel;
+
+use crate::leakcheck::{DataflowDetector, LeakVerdict, Retention, SolverStats};
+use crate::witness::Witness;
+use crate::{IpcMethodExtractor, JgrEntryExtractor, ServiceKind};
+
+/// Stable rule identifiers for lint findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleId {
+    /// JGRE001 — unbounded JGR retention on an attacker-reachable
+    /// interface.
+    UnboundedRetention,
+    /// JGRE002 — retention gated behind a signature-level permission:
+    /// unreachable for third-party callers, still worth surfacing.
+    SignatureGatedRetention,
+    /// JGRE003 — retention bounded by a visible per-process limit
+    /// (Table III); statically risky, dynamically refuted.
+    BoundedRetention,
+}
+
+impl RuleId {
+    /// The stable `JGREnnn` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RuleId::UnboundedRetention => "JGRE001",
+            RuleId::SignatureGatedRetention => "JGRE002",
+            RuleId::BoundedRetention => "JGRE003",
+        }
+    }
+
+    /// Human-readable rule name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::UnboundedRetention => "unbounded-jgr-retention",
+            RuleId::SignatureGatedRetention => "signature-gated-jgr-retention",
+            RuleId::BoundedRetention => "bounded-jgr-retention",
+        }
+    }
+
+    /// One-line description for the SARIF rule metadata.
+    pub fn description(self) -> &'static str {
+        match self {
+            RuleId::UnboundedRetention => {
+                "IPC method retains a JNI global reference per call without bound; \
+                 repeated calls exhaust the 51200-entry table and crash the process"
+            }
+            RuleId::SignatureGatedRetention => {
+                "JGR retention exists but a signature-level permission blocks \
+                 third-party callers"
+            }
+            RuleId::BoundedRetention => {
+                "JGR retention is capped by a per-process limit checked before \
+                 the store"
+            }
+        }
+    }
+
+    /// Default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            RuleId::UnboundedRetention => Severity::Error,
+            RuleId::SignatureGatedRetention => Severity::Note,
+            RuleId::BoundedRetention => Severity::Warning,
+        }
+    }
+
+    /// All rules, id order.
+    pub fn all() -> [RuleId; 3] {
+        [
+            RuleId::UnboundedRetention,
+            RuleId::SignatureGatedRetention,
+            RuleId::BoundedRetention,
+        ]
+    }
+}
+
+/// Finding severity, mirroring SARIF's `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Exploitable as-is.
+    Error,
+    /// Real retention, mitigated by a bound.
+    Warning,
+    /// Informational (permission-gated).
+    Note,
+}
+
+impl Severity {
+    /// The SARIF `level` string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One lint finding with witness provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Which rule fired.
+    pub rule: RuleId,
+    /// Service exposing the interface.
+    pub service: String,
+    /// IPC method name.
+    pub method: String,
+    /// Kind of service.
+    pub kind: ServiceKind,
+    /// The underlying dataflow verdict.
+    pub verdict: LeakVerdict,
+    /// Finding message.
+    pub message: String,
+    /// One checkable witness per retained allocation site.
+    pub witnesses: Vec<Witness>,
+}
+
+/// Precision/recall of the risky set against the spec's ground truth,
+/// restricted to system services (the paper's Table IV population).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Flagged and truly vulnerable.
+    pub true_positives: usize,
+    /// Flagged but dynamically refuted (the bounded collections).
+    pub false_positives: usize,
+    /// Vulnerable but missed — must be zero.
+    pub false_negatives: usize,
+    /// `tp / (tp + fp)`.
+    pub precision: f64,
+    /// `tp / (tp + fn)`.
+    pub recall: f64,
+}
+
+/// The complete lint run: findings, accuracy, and solver statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LintReport {
+    /// All findings, pipeline order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static-analysis accuracy vs the spec ground truth.
+    pub accuracy: AccuracyReport,
+    /// Dataflow solver statistics.
+    pub stats: SolverStats,
+}
+
+impl LintReport {
+    /// Runs the dataflow pipeline over `model` and assembles findings.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jgre_analysis::diagnostics::{LintReport, RuleId};
+    /// use jgre_corpus::{spec::AospSpec, CodeModel};
+    ///
+    /// let spec = AospSpec::android_6_0_1();
+    /// let model = CodeModel::synthesize(&spec);
+    /// let report = LintReport::generate(&model, &spec);
+    /// assert_eq!(report.accuracy.false_negatives, 0);
+    /// assert_eq!(report.accuracy.recall, 1.0);
+    /// ```
+    pub fn generate(model: &CodeModel, spec: &AospSpec) -> LintReport {
+        let ipc = IpcMethodExtractor::new(model).extract();
+        let entries = JgrEntryExtractor::new(model).extract();
+        let out = DataflowDetector::new(model, &entries).detect(&ipc);
+
+        let mut diagnostics = Vec::new();
+        for row in &out.verdicts {
+            if !row.verdict.is_risky() {
+                continue;
+            }
+            let rule = if row.signature_gated {
+                RuleId::SignatureGatedRetention
+            } else if row.verdict == LeakVerdict::UnboundedLeak {
+                RuleId::UnboundedRetention
+            } else {
+                RuleId::BoundedRetention
+            };
+            let retained: Vec<_> = row
+                .sites
+                .iter()
+                .filter(|s| s.fate != Retention::Released)
+                .collect();
+            let witnesses: Vec<Witness> = row
+                .ipc
+                .java
+                .into_iter()
+                .flat_map(|root| {
+                    retained
+                        .iter()
+                        .filter_map(|site| Witness::build(model, root, site))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let qualifier = match rule {
+                RuleId::UnboundedRetention => "without bound",
+                RuleId::SignatureGatedRetention => "behind a signature-level permission",
+                RuleId::BoundedRetention => "up to a per-process limit",
+            };
+            diagnostics.push(Diagnostic {
+                rule,
+                service: row.ipc.service.clone(),
+                method: row.ipc.method.clone(),
+                kind: row.ipc.kind.clone(),
+                verdict: row.verdict,
+                message: format!(
+                    "{}.{} retains a JNI global reference per call {} \
+                     ({} allocation site{})",
+                    row.ipc.service,
+                    row.ipc.method,
+                    qualifier,
+                    retained.len(),
+                    if retained.len() == 1 { "" } else { "s" },
+                ),
+                witnesses,
+            });
+        }
+
+        let accuracy = accuracy(&diagnostics, spec);
+        LintReport {
+            diagnostics,
+            accuracy,
+            stats: out.stats,
+        }
+    }
+
+    /// Exports the report as a SARIF 2.1.0 document.
+    pub fn to_sarif(&self, model: &CodeModel) -> Value {
+        let rules = RuleId::all()
+            .into_iter()
+            .map(|r| {
+                obj(vec![
+                    ("id", s(r.as_str())),
+                    ("name", s(r.name())),
+                    ("shortDescription", obj(vec![("text", s(r.description()))])),
+                    (
+                        "defaultConfiguration",
+                        obj(vec![("level", s(r.severity().sarif_level()))]),
+                    ),
+                ])
+            })
+            .collect();
+
+        let results = self
+            .diagnostics
+            .iter()
+            .map(|d| {
+                let location = obj(vec![(
+                    "logicalLocations",
+                    Value::Array(vec![obj(vec![
+                        (
+                            "fullyQualifiedName",
+                            s(format!("{}.{}", d.service, d.method)),
+                        ),
+                        ("kind", s("function")),
+                    ])]),
+                )]);
+                let code_flows = d
+                    .witnesses
+                    .iter()
+                    .map(|w| {
+                        let locations = w
+                            .render(model)
+                            .into_iter()
+                            .map(|line| {
+                                obj(vec![(
+                                    "location",
+                                    obj(vec![("message", obj(vec![("text", s(line))]))]),
+                                )])
+                            })
+                            .collect();
+                        obj(vec![(
+                            "threadFlows",
+                            Value::Array(vec![obj(vec![("locations", Value::Array(locations))])]),
+                        )])
+                    })
+                    .collect();
+                obj(vec![
+                    ("ruleId", s(d.rule.as_str())),
+                    ("level", s(d.rule.severity().sarif_level())),
+                    ("message", obj(vec![("text", s(d.message.clone()))])),
+                    ("locations", Value::Array(vec![location])),
+                    ("codeFlows", Value::Array(code_flows)),
+                ])
+            })
+            .collect();
+
+        obj(vec![
+            (
+                "$schema",
+                s("https://json.schemastore.org/sarif-2.1.0.json"),
+            ),
+            ("version", s("2.1.0")),
+            (
+                "runs",
+                Value::Array(vec![obj(vec![
+                    (
+                        "tool",
+                        obj(vec![(
+                            "driver",
+                            obj(vec![
+                                ("name", s("jgre-lint")),
+                                ("informationUri", s("https://example.org/jgre")),
+                                ("rules", Value::Array(rules)),
+                            ]),
+                        )]),
+                    ),
+                    ("results", Value::Array(results)),
+                ])]),
+            ),
+        ])
+    }
+}
+
+/// Scores system-service findings against the spec's vulnerability flags.
+fn accuracy(diagnostics: &[Diagnostic], spec: &AospSpec) -> AccuracyReport {
+    use std::collections::BTreeSet;
+    let predicted: BTreeSet<(String, String)> = diagnostics
+        .iter()
+        .filter(|d| d.kind == ServiceKind::SystemService)
+        .filter(|d| d.rule != RuleId::SignatureGatedRetention)
+        .map(|d| (d.service.clone(), d.method.clone()))
+        .collect();
+    let truth: BTreeSet<(String, String)> = spec
+        .vulnerable_service_interfaces()
+        .map(|(svc, m)| (svc.name.clone(), m.name.clone()))
+        .collect();
+    let true_positives = predicted.intersection(&truth).count();
+    let false_positives = predicted.difference(&truth).count();
+    let false_negatives = truth.difference(&predicted).count();
+    let ratio = |num: usize, den: usize| {
+        if den == 0 {
+            1.0
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    AccuracyReport {
+        true_positives,
+        false_positives,
+        false_negatives,
+        precision: ratio(true_positives, true_positives + false_positives),
+        recall: ratio(true_positives, true_positives + false_negatives),
+    }
+}
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn s(text: impl Into<String>) -> Value {
+    Value::Str(text.into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> (CodeModel, LintReport) {
+        let spec = AospSpec::android_6_0_1();
+        let model = CodeModel::synthesize(&spec);
+        let report = LintReport::generate(&model, &spec);
+        (model, report)
+    }
+
+    #[test]
+    fn accuracy_matches_the_paper() {
+        let (_, report) = report();
+        assert_eq!(report.accuracy.true_positives, 54);
+        assert_eq!(report.accuracy.false_positives, 3, "the bounded three");
+        assert_eq!(report.accuracy.false_negatives, 0);
+        assert_eq!(report.accuracy.recall, 1.0);
+        assert!((report.accuracy.precision - 54.0 / 57.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rule_partition_is_complete() {
+        let (_, report) = report();
+        let count = |r: RuleId| report.diagnostics.iter().filter(|d| d.rule == r).count();
+        // 63 risky (57 system + 3 prebuilt + 3 third-party), of which 3
+        // are the bounded collections.
+        assert_eq!(count(RuleId::UnboundedRetention), 60);
+        assert_eq!(count(RuleId::BoundedRetention), 3);
+        // Signature-gated retention exists in the corpus (Table V's
+        // permission-protected listeners).
+        assert!(count(RuleId::SignatureGatedRetention) >= 2);
+    }
+
+    #[test]
+    fn every_diagnostic_has_a_witness_and_they_validate() {
+        let (model, report) = report();
+        for d in &report.diagnostics {
+            assert!(
+                !d.witnesses.is_empty(),
+                "{}.{} has no witness",
+                d.service,
+                d.method
+            );
+            for w in &d.witnesses {
+                w.validate(&model)
+                    .unwrap_or_else(|e| panic!("{}.{}: {e}", d.service, d.method));
+            }
+        }
+    }
+
+    #[test]
+    fn sarif_roundtrips_and_has_the_expected_shape() {
+        let (model, report) = report();
+        let sarif = report.to_sarif(&model);
+        let text = serde_json::to_string_pretty(&sarif).unwrap();
+        let parsed: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed.get("version").and_then(Value::as_str), Some("2.1.0"));
+        let runs = parsed.get("runs").and_then(Value::as_array).unwrap();
+        let driver = runs[0].get("tool").unwrap().get("driver").unwrap();
+        assert_eq!(
+            driver.get("name").and_then(Value::as_str),
+            Some("jgre-lint")
+        );
+        assert_eq!(
+            driver.get("rules").and_then(Value::as_array).unwrap().len(),
+            3
+        );
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        assert_eq!(results.len(), report.diagnostics.len());
+        for result in results {
+            let flows = result.get("codeFlows").and_then(Value::as_array).unwrap();
+            assert!(!flows.is_empty(), "finding without a code flow");
+        }
+    }
+}

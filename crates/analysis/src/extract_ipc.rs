@@ -133,7 +133,9 @@ impl<'m> IpcMethodExtractor<'m> {
             while iface.is_none() {
                 match &provider.superclass {
                     Some(s) => {
-                        let Some(sup) = self.model.find_class(s) else { break };
+                        let Some(sup) = self.model.find_class(s) else {
+                            break;
+                        };
                         provider = sup;
                         iface = provider.asbinder_interface.as_deref();
                         hops += 1;

@@ -185,11 +185,8 @@ mod tests {
     #[test]
     fn named_java_mappings_recovered() {
         let e = entries();
-        let mappings: std::collections::BTreeSet<&str> = e
-            .named_mappings
-            .iter()
-            .map(|(j, _)| j.as_str())
-            .collect();
+        let mappings: std::collections::BTreeSet<&str> =
+            e.named_mappings.iter().map(|(j, _)| j.as_str()).collect();
         assert!(mappings.contains("android.os.Parcel.nativeReadStrongBinder"));
         assert!(mappings.contains("android.os.Parcel.nativeWriteStrongBinder"));
         assert!(mappings.contains("android.os.Binder.linkToDeathNative"));

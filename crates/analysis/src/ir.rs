@@ -1,0 +1,284 @@
+//! Basic-block CFG IR: the lowering target for synthesized method bodies.
+//!
+//! The corpus's structured [`MethodBody`] AST (straight-line statements
+//! plus `If` branches) is lowered into a conventional control-flow graph:
+//! numbered [`BasicBlock`]s holding flat [`Stmt`] lists, each ended by a
+//! [`Terminator`]. The dataflow solver in [`dataflow`](crate::dataflow)
+//! iterates over this representation.
+
+use jgre_corpus::body::{AllocSite, BodyStmt, FieldKind, MethodBody, Place, Var};
+use jgre_corpus::MethodId;
+use serde::{Deserialize, Serialize};
+
+/// Index of a block in [`Cfg::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+/// One flat IR statement (branches live in the [`Terminator`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// A JGR is created and bound to `dst`.
+    AllocJgr {
+        /// Register receiving the reference.
+        dst: Var,
+        /// Provenance of the allocation.
+        site: AllocSite,
+    },
+    /// The reference held by `src` is deleted (or revoked by GC).
+    ReleaseJgr {
+        /// What is released.
+        src: Place,
+    },
+    /// `src` escapes into a member field.
+    StoreField {
+        /// Register being stored.
+        src: Var,
+        /// Field name.
+        field: String,
+        /// Storage kind.
+        kind: FieldKind,
+    },
+    /// `src` is stored into a local — no escape.
+    StoreLocal {
+        /// Register being stored.
+        src: Var,
+    },
+    /// Call to another Java method.
+    Call {
+        /// Callee.
+        callee: MethodId,
+        /// Whether the edge is a `Message`/`Handler` post.
+        via_handler: bool,
+    },
+}
+
+/// How a basic block ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Goto(BlockId),
+    /// Two-way branch (the bound-check pattern).
+    Branch {
+        /// Under-limit successor.
+        then_: BlockId,
+        /// Over-limit successor.
+        else_: BlockId,
+    },
+    /// Method exit.
+    Return,
+}
+
+/// One basic block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// Straight-line statements.
+    pub stmts: Vec<Stmt>,
+    /// Block terminator.
+    pub term: Terminator,
+}
+
+/// A per-method control-flow graph. Block 0 is the entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cfg {
+    /// All blocks; [`Cfg::ENTRY`] is the function entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Cfg {
+    /// The entry block.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// Lowers a structured body into basic-block form.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jgre_analysis::ir::{Cfg, Terminator};
+    /// use jgre_corpus::{spec::AospSpec, CodeModel};
+    ///
+    /// let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+    /// let id = model.find_method("java.lang.Thread", "nativeCreate").unwrap();
+    /// let cfg = Cfg::lower(&model.method_body(id));
+    /// assert_eq!(cfg.blocks.len(), 1);
+    /// assert_eq!(cfg.blocks[0].term, Terminator::Return);
+    /// ```
+    pub fn lower(body: &MethodBody) -> Cfg {
+        let mut lowerer = Lowerer { blocks: Vec::new() };
+        let entry = lowerer.new_block();
+        if let Some(open) = lowerer.lower_seq(&body.stmts, entry) {
+            lowerer.blocks[open.0 as usize].1 = Some(Terminator::Return);
+        }
+        Cfg {
+            blocks: lowerer
+                .blocks
+                .into_iter()
+                .map(|(stmts, term)| BasicBlock {
+                    stmts,
+                    term: term.unwrap_or(Terminator::Return),
+                })
+                .collect(),
+        }
+    }
+
+    /// Successor blocks of `b`.
+    pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
+        match self.blocks[b.0 as usize].term {
+            Terminator::Goto(t) => vec![t],
+            Terminator::Branch { then_, else_ } => vec![then_, else_],
+            Terminator::Return => Vec::new(),
+        }
+    }
+
+    /// Blocks in reverse postorder from the entry — the iteration order
+    /// that lets a forward worklist converge in few passes.
+    pub fn reverse_postorder(&self) -> Vec<BlockId> {
+        let mut state = vec![0u8; self.blocks.len()]; // 0 new, 1 open, 2 done
+        let mut postorder = Vec::with_capacity(self.blocks.len());
+        let mut stack = vec![Self::ENTRY];
+        while let Some(&b) = stack.last() {
+            match state[b.0 as usize] {
+                0 => {
+                    state[b.0 as usize] = 1;
+                    for succ in self.successors(b) {
+                        if state[succ.0 as usize] == 0 {
+                            stack.push(succ);
+                        }
+                    }
+                }
+                1 => {
+                    state[b.0 as usize] = 2;
+                    postorder.push(b);
+                    stack.pop();
+                }
+                _ => {
+                    stack.pop();
+                }
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+}
+
+struct Lowerer {
+    blocks: Vec<(Vec<Stmt>, Option<Terminator>)>,
+}
+
+impl Lowerer {
+    fn new_block(&mut self) -> BlockId {
+        self.blocks.push((Vec::new(), None));
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    /// Lowers a statement sequence starting in `cur`; returns the block
+    /// left open at the end, or `None` when the sequence returned.
+    fn lower_seq(&mut self, stmts: &[BodyStmt], mut cur: BlockId) -> Option<BlockId> {
+        for stmt in stmts {
+            match stmt {
+                BodyStmt::AllocJgr { dst, site } => self.push(
+                    cur,
+                    Stmt::AllocJgr {
+                        dst: *dst,
+                        site: *site,
+                    },
+                ),
+                BodyStmt::ReleaseJgr { src } => {
+                    self.push(cur, Stmt::ReleaseJgr { src: src.clone() });
+                }
+                BodyStmt::StoreField { src, field, kind } => self.push(
+                    cur,
+                    Stmt::StoreField {
+                        src: *src,
+                        field: field.clone(),
+                        kind: kind.clone(),
+                    },
+                ),
+                BodyStmt::StoreLocal { src } => self.push(cur, Stmt::StoreLocal { src: *src }),
+                BodyStmt::Call {
+                    callee,
+                    via_handler,
+                } => self.push(
+                    cur,
+                    Stmt::Call {
+                        callee: *callee,
+                        via_handler: *via_handler,
+                    },
+                ),
+                BodyStmt::If {
+                    then_branch,
+                    else_branch,
+                } => {
+                    let then_ = self.new_block();
+                    let else_ = self.new_block();
+                    self.blocks[cur.0 as usize].1 = Some(Terminator::Branch { then_, else_ });
+                    let t_end = self.lower_seq(then_branch, then_);
+                    let e_end = self.lower_seq(else_branch, else_);
+                    match (t_end, e_end) {
+                        (None, None) => return None,
+                        (t, e) => {
+                            let join = self.new_block();
+                            for open in [t, e].into_iter().flatten() {
+                                self.blocks[open.0 as usize].1 = Some(Terminator::Goto(join));
+                            }
+                            cur = join;
+                        }
+                    }
+                }
+                BodyStmt::Return => {
+                    self.blocks[cur.0 as usize].1 = Some(Terminator::Return);
+                    return None;
+                }
+            }
+        }
+        Some(cur)
+    }
+
+    fn push(&mut self, block: BlockId, stmt: Stmt) {
+        self.blocks[block.0 as usize].0.push(stmt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgre_corpus::{spec::AospSpec, CodeModel};
+
+    #[test]
+    fn branch_lowering_produces_diamond() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let display = model
+            .find_method("com.android.server.DisplayService", "registerCallback")
+            .unwrap();
+        let cfg = Cfg::lower(&model.method_body(display));
+        // entry + then + else + join = 4 blocks.
+        assert_eq!(cfg.blocks.len(), 4);
+        assert!(matches!(
+            cfg.blocks[Cfg::ENTRY.0 as usize].term,
+            Terminator::Branch { .. }
+        ));
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], Cfg::ENTRY);
+        assert_eq!(rpo.len(), 4, "all blocks reachable");
+    }
+
+    #[test]
+    fn every_corpus_body_lowers_and_terminates() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        for def in &model.methods {
+            let cfg = Cfg::lower(&model.method_body(def.id));
+            assert!(!cfg.blocks.is_empty());
+            assert!(
+                cfg.blocks
+                    .iter()
+                    .any(|b| matches!(b.term, Terminator::Return)),
+                "{}.{} has no return block",
+                def.class,
+                def.name
+            );
+            // The RPO must visit every reachable block exactly once.
+            let rpo = cfg.reverse_postorder();
+            let unique: std::collections::BTreeSet<_> = rpo.iter().collect();
+            assert_eq!(unique.len(), rpo.len());
+        }
+    }
+}

@@ -1,0 +1,803 @@
+//! The dataflow leak-check pass: tracks every JGR allocation site to its
+//! release (or escape) along all paths, interprocedurally, and derives
+//! the paper's four sift rules as verdicts instead of heuristics.
+//!
+//! Per activation, each reference lives in a small ordered lattice
+//! (released < live < escaped-scalar < escaped-bounded <
+//! escaped-unbounded); the forward solver joins path states at CFG
+//! merges. Method summaries are computed bottom-up over the call graph's
+//! SCC condensation (recursive cliques iterate to their own fixpoint),
+//! so a caller sees the allocation fates of everything it can reach.
+//!
+//! [`DataflowDetector`] adapts the verdicts to the legacy
+//! [`VulnerableIpcDetector`](crate::VulnerableIpcDetector) output shape;
+//! the heuristic detector is kept as a cross-check oracle (see
+//! [`DataflowOutput::cross_check`]).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use jgre_corpus::body::{AllocSite, FieldKind, Place, Var};
+use jgre_corpus::spec::ProtectionLevel;
+use jgre_corpus::{CodeModel, MethodId};
+use serde::{Deserialize, Serialize};
+
+use crate::dataflow::{condense_call_graph, solve_forward, ForwardAnalysis, JoinSemiLattice};
+use crate::ir::{Cfg, Stmt, Terminator};
+use crate::{DetectorOutput, IpcMethod, JgrEntrySets, RiskyInterface, SiftReason};
+
+/// Net effect of one allocation site on the process's JGR footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Retention {
+    /// Released (or GC-revoked) on every path.
+    Released,
+    /// Escapes, but the footprint is bounded (scalar replacement or a
+    /// bound-checked collection).
+    Bounded,
+    /// Retained without bound — grows on every call.
+    Unbounded,
+}
+
+/// How a reference escaped, when it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EscapeKind {
+    /// Stored to a scalar member field after the previous value was
+    /// released — net retention of one (the paper's rule 4).
+    ScalarReplace,
+    /// Stored into a collection behind a visible per-process bound check
+    /// (Table III); statically still risky.
+    BoundedCollection,
+    /// Stored into an unbounded member collection.
+    UnboundedCollection,
+}
+
+/// The fate of one allocation site, with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteSummary {
+    /// Method whose body contains the allocation.
+    pub method: MethodId,
+    /// The allocation site.
+    pub site: AllocSite,
+    /// Net per-call retention.
+    pub fate: Retention,
+    /// Escape route, when the reference escaped.
+    pub escape: Option<EscapeKind>,
+    /// Whether the reference was (also) used as a read-only map key —
+    /// relevant to the member-replacement proof (rule 4 excludes it).
+    pub read_only_key: bool,
+}
+
+/// Bottom-up summary of one method: every allocation site reachable from
+/// it (own body plus callees), with fates.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MethodSummary {
+    /// Reachable allocation sites, deduplicated, sorted by provenance.
+    pub sites: Vec<SiteSummary>,
+    /// Whether any reachable call edge is a Handler post.
+    pub saw_handler: bool,
+}
+
+impl MethodSummary {
+    /// Worst per-call retention over all reachable sites.
+    pub fn retention(&self) -> Option<Retention> {
+        self.sites.iter().map(|s| s.fate).max()
+    }
+}
+
+/// Size and work statistics of one whole-corpus analysis run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Methods analysed (one CFG each).
+    pub methods: usize,
+    /// Total basic blocks across all CFGs.
+    pub cfg_blocks: usize,
+    /// SCCs of the call graph.
+    pub sccs: usize,
+    /// Total block transfers executed by the fixpoint solver.
+    pub solver_iterations: u64,
+}
+
+/// The dataflow verdict for one IPC method — the paper's sift rules
+/// derived from reference fates instead of pattern-matched heuristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum LeakVerdict {
+    /// No JGR allocation is reachable at all.
+    NoJgr,
+    /// Every reachable allocation is the thread peer, released on all
+    /// paths when the thread exits (rule 1).
+    ThreadCreateRelease,
+    /// Every binder argument is released on all paths — local use or
+    /// read-only key, GC revokes after the call (rules 2-3).
+    TransientParams,
+    /// Binder arguments land in scalar member fields whose previous
+    /// value is released first — net retention of one (rule 4).
+    MemberReplacement,
+    /// Retention is real but provably bounded by a per-process limit;
+    /// statically risky, dynamic verification decides (Table III).
+    BoundedRetention,
+    /// At least one allocation site is retained without bound.
+    UnboundedLeak,
+}
+
+impl LeakVerdict {
+    /// Whether the verdict keeps the interface in the risky set.
+    pub fn is_risky(self) -> bool {
+        matches!(
+            self,
+            LeakVerdict::BoundedRetention | LeakVerdict::UnboundedLeak
+        )
+    }
+
+    /// The legacy sift reason this verdict corresponds to, for verdicts
+    /// that clear the candidate.
+    pub fn sift_reason(self) -> Option<SiftReason> {
+        match self {
+            LeakVerdict::NoJgr => Some(SiftReason::NoJgrReach),
+            LeakVerdict::ThreadCreateRelease => Some(SiftReason::ThreadCreateOnly),
+            LeakVerdict::TransientParams => Some(SiftReason::TransientUsage),
+            LeakVerdict::MemberReplacement => Some(SiftReason::ReplacedMember),
+            LeakVerdict::BoundedRetention | LeakVerdict::UnboundedLeak => None,
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Intraprocedural abstract state
+// ------------------------------------------------------------------
+
+/// Per-reference lattice value; join is max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum VarState {
+    /// Released (or GC-revoked) on this path.
+    Released,
+    /// Allocated and still held by a register only.
+    Live,
+    /// Stored to a scalar field whose previous value was released.
+    EscapedScalar,
+    /// Stored into a bound-checked collection.
+    EscapedBounded,
+    /// Stored into an unbounded collection (or scalar without release).
+    EscapedUnbounded,
+}
+
+/// Abstract state at one program point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct LeakState {
+    /// Lattice value per register.
+    vars: BTreeMap<Var, VarState>,
+    /// Fields whose previous value was released and not yet overwritten
+    /// (must-information: intersected at joins).
+    cleared: BTreeSet<String>,
+    /// Registers used as read-only map keys.
+    key_use: BTreeSet<Var>,
+    /// Callees invoked on some path; the flag is true when *every* path
+    /// reaching the call first passed a per-process bound admission —
+    /// such callees' retention is capped by the same bound.
+    called: BTreeMap<MethodId, bool>,
+    /// Whether the path passed a bound-check admission (a bounded
+    /// collection store) — must-information, ANDed at joins.
+    guard: bool,
+    /// Whether a Handler-post edge was taken.
+    handler: bool,
+}
+
+impl JoinSemiLattice for LeakState {
+    fn join(&mut self, other: &Self) -> bool {
+        let mut changed = false;
+        for (v, s) in &other.vars {
+            match self.vars.get_mut(v) {
+                None => {
+                    self.vars.insert(*v, *s);
+                    changed = true;
+                }
+                Some(cur) if *cur < *s => {
+                    *cur = *s;
+                    changed = true;
+                }
+                Some(_) => {}
+            }
+        }
+        let before = self.cleared.len();
+        self.cleared.retain(|f| other.cleared.contains(f));
+        changed |= self.cleared.len() != before;
+        for k in &other.key_use {
+            changed |= self.key_use.insert(*k);
+        }
+        for (c, guarded) in &other.called {
+            match self.called.get_mut(c) {
+                None => {
+                    self.called.insert(*c, *guarded);
+                    changed = true;
+                }
+                Some(cur) if *cur && !*guarded => {
+                    *cur = false;
+                    changed = true;
+                }
+                Some(_) => {}
+            }
+        }
+        if self.guard && !other.guard {
+            self.guard = false;
+            changed = true;
+        }
+        if other.handler && !self.handler {
+            self.handler = true;
+            changed = true;
+        }
+        changed
+    }
+}
+
+struct LeakBodyAnalysis;
+
+impl ForwardAnalysis for LeakBodyAnalysis {
+    type State = LeakState;
+
+    fn boundary(&self) -> LeakState {
+        LeakState::default()
+    }
+
+    fn transfer(&self, stmt: &Stmt, state: &mut LeakState) {
+        match stmt {
+            Stmt::AllocJgr { dst, .. } => {
+                state.vars.insert(*dst, VarState::Live);
+            }
+            Stmt::ReleaseJgr { src: Place::Var(v) } => {
+                state.vars.insert(*v, VarState::Released);
+            }
+            Stmt::ReleaseJgr {
+                src: Place::Field(f),
+            } => {
+                state.cleared.insert(f.clone());
+            }
+            Stmt::StoreField { src, field, kind } => {
+                let escalate = |state: &mut LeakState, v: Var, to: VarState| {
+                    let cur = state.vars.entry(v).or_insert(VarState::Live);
+                    *cur = (*cur).max(to);
+                };
+                match kind {
+                    FieldKind::Collection { bounded: false } => {
+                        escalate(state, *src, VarState::EscapedUnbounded);
+                    }
+                    FieldKind::Collection { bounded: true } => {
+                        escalate(state, *src, VarState::EscapedBounded);
+                        // The path passed the bound admission: whatever
+                        // runs after it on this path is capped too.
+                        state.guard = true;
+                    }
+                    FieldKind::MapKeyReadOnly => {
+                        // A key lookup does not retain the reference.
+                        state.key_use.insert(*src);
+                    }
+                    FieldKind::Scalar => {
+                        // Bounded only when the previous value was
+                        // provably released before this store.
+                        let replaced = state.cleared.remove(field);
+                        let to = if replaced {
+                            VarState::EscapedScalar
+                        } else {
+                            VarState::EscapedUnbounded
+                        };
+                        escalate(state, *src, to);
+                    }
+                }
+            }
+            Stmt::StoreLocal { .. } => {}
+            Stmt::Call {
+                callee,
+                via_handler,
+            } => {
+                let guarded = state.guard;
+                match state.called.get_mut(callee) {
+                    None => {
+                        state.called.insert(*callee, guarded);
+                    }
+                    Some(cur) => *cur &= guarded,
+                }
+                state.handler |= *via_handler;
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------
+// Whole-corpus analysis
+// ------------------------------------------------------------------
+
+/// One method's solved intraprocedural result.
+struct IntraResult {
+    /// Join of the exit states of all return blocks.
+    final_state: LeakState,
+    /// Allocation sites in this body, by register.
+    var_sites: BTreeMap<Var, AllocSite>,
+}
+
+/// Runs the leak-check pass over a whole code model.
+#[derive(Debug)]
+pub struct LeakChecker<'m> {
+    model: &'m CodeModel,
+}
+
+/// The completed whole-corpus analysis: per-method summaries plus
+/// solver statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakAnalysis {
+    /// Bottom-up summary per method.
+    pub summaries: BTreeMap<MethodId, MethodSummary>,
+    /// Work statistics.
+    pub stats: SolverStats,
+}
+
+impl<'m> LeakChecker<'m> {
+    /// Wraps a code model.
+    pub fn new(model: &'m CodeModel) -> Self {
+        Self { model }
+    }
+
+    /// Lowers every method, solves each CFG to a fixpoint, and folds
+    /// callee summaries bottom-up over the SCC condensation.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jgre_analysis::leakcheck::{LeakChecker, LeakVerdict};
+    /// use jgre_corpus::{spec::AospSpec, CodeModel};
+    ///
+    /// let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+    /// let analysis = LeakChecker::new(&model).analyze();
+    /// let link = model.find_method("android.os.Binder", "linkToDeathNative").unwrap();
+    /// assert_eq!(analysis.verdict_for(link), LeakVerdict::UnboundedLeak);
+    /// ```
+    pub fn analyze(&self) -> LeakAnalysis {
+        let mut stats = SolverStats {
+            methods: self.model.methods.len(),
+            ..SolverStats::default()
+        };
+        let mut intras = Vec::with_capacity(self.model.methods.len());
+        for def in &self.model.methods {
+            let cfg = Cfg::lower(&self.model.method_body(def.id));
+            stats.cfg_blocks += cfg.blocks.len();
+            let solution = solve_forward(&cfg, &LeakBodyAnalysis);
+            stats.solver_iterations += solution.iterations;
+            let mut final_state: Option<LeakState> = None;
+            for (i, block) in cfg.blocks.iter().enumerate() {
+                if !matches!(block.term, Terminator::Return) {
+                    continue;
+                }
+                let Some(exit) = &solution.exit[i] else {
+                    continue;
+                };
+                match &mut final_state {
+                    None => final_state = Some(exit.clone()),
+                    Some(acc) => {
+                        acc.join(exit);
+                    }
+                }
+            }
+            let mut var_sites = BTreeMap::new();
+            for block in &cfg.blocks {
+                for stmt in &block.stmts {
+                    if let Stmt::AllocJgr { dst, site } = stmt {
+                        var_sites.insert(*dst, *site);
+                    }
+                }
+            }
+            intras.push(IntraResult {
+                final_state: final_state.unwrap_or_default(),
+                var_sites,
+            });
+        }
+
+        // Bottom-up over the condensation; each SCC iterates to its own
+        // fixpoint (summaries only grow, so this terminates).
+        let cond = condense_call_graph(self.model);
+        stats.sccs = cond.sccs.len();
+        let mut summaries: BTreeMap<MethodId, MethodSummary> = BTreeMap::new();
+        for scc in &cond.sccs {
+            for m in scc {
+                summaries.insert(*m, MethodSummary::default());
+            }
+            loop {
+                let mut changed = false;
+                for m in scc {
+                    let folded = fold_summary(*m, &intras[m.0 as usize], &summaries);
+                    if summaries.get(m) != Some(&folded) {
+                        summaries.insert(*m, folded);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+        }
+        LeakAnalysis { summaries, stats }
+    }
+}
+
+/// Folds a method's intraprocedural result with its callees' summaries.
+fn fold_summary(
+    own: MethodId,
+    intra: &IntraResult,
+    summaries: &BTreeMap<MethodId, MethodSummary>,
+) -> MethodSummary {
+    let mut sites: BTreeMap<(MethodId, AllocSite), SiteSummary> = BTreeMap::new();
+    let mut merge = |s: SiteSummary| match sites.get_mut(&(s.method, s.site)) {
+        None => {
+            sites.insert((s.method, s.site), s);
+        }
+        Some(old) => {
+            let key = old.read_only_key || s.read_only_key;
+            if s.fate > old.fate {
+                *old = s;
+            }
+            old.read_only_key = key;
+        }
+    };
+    for (var, site) in &intra.var_sites {
+        let state = intra
+            .final_state
+            .vars
+            .get(var)
+            .copied()
+            .unwrap_or(VarState::Live);
+        let (fate, escape) = match state {
+            VarState::Released => (Retention::Released, None),
+            // Still live at exit: the reference outlives the activation
+            // (handed to the caller) — conservatively unbounded.
+            VarState::Live => (Retention::Unbounded, None),
+            VarState::EscapedScalar => (Retention::Bounded, Some(EscapeKind::ScalarReplace)),
+            VarState::EscapedBounded => (Retention::Bounded, Some(EscapeKind::BoundedCollection)),
+            VarState::EscapedUnbounded => {
+                (Retention::Unbounded, Some(EscapeKind::UnboundedCollection))
+            }
+        };
+        merge(SiteSummary {
+            method: own,
+            site: *site,
+            fate,
+            escape,
+            read_only_key: intra.final_state.key_use.contains(var),
+        });
+    }
+    let mut saw_handler = intra.final_state.handler;
+    for (callee, guarded) in &intra.final_state.called {
+        let Some(cs) = summaries.get(callee) else {
+            continue;
+        };
+        saw_handler |= cs.saw_handler;
+        for s in &cs.sites {
+            let mut s = s.clone();
+            // A callee only ever reached through a bound admission
+            // inherits the bound: its retention cannot exceed the
+            // per-process limit.
+            if *guarded && s.fate == Retention::Unbounded {
+                s.fate = Retention::Bounded;
+            }
+            merge(s);
+        }
+    }
+    MethodSummary {
+        sites: sites.into_values().collect(),
+        saw_handler,
+    }
+}
+
+impl LeakAnalysis {
+    /// The summary of one method.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not part of the analysed model.
+    pub fn summary(&self, id: MethodId) -> &MethodSummary {
+        &self.summaries[&id]
+    }
+
+    /// Derives the sift verdict for an IPC root from reference fates.
+    pub fn verdict_for(&self, root: MethodId) -> LeakVerdict {
+        let Some(summary) = self.summaries.get(&root) else {
+            return LeakVerdict::NoJgr;
+        };
+        let sites = &summary.sites;
+        if sites.is_empty() {
+            return LeakVerdict::NoJgr;
+        }
+        if sites.iter().any(|s| s.fate == Retention::Unbounded) {
+            return LeakVerdict::UnboundedLeak;
+        }
+        if sites.iter().any(|s| {
+            matches!(
+                s.escape,
+                Some(EscapeKind::BoundedCollection | EscapeKind::UnboundedCollection)
+            )
+        }) {
+            // No unbounded fate remains, so every collection escape is
+            // behind a bound admission: real but capped retention.
+            return LeakVerdict::BoundedRetention;
+        }
+        // All fates are Released or scalar-bounded from here on.
+        let non_thread: Vec<&SiteSummary> = sites
+            .iter()
+            .filter(|s| s.site != AllocSite::ThreadPeer)
+            .collect();
+        if non_thread.is_empty() {
+            return LeakVerdict::ThreadCreateRelease;
+        }
+        if non_thread
+            .iter()
+            .all(|s| matches!(s.site, AllocSite::BinderParam(_)))
+        {
+            if non_thread.iter().all(|s| s.fate == Retention::Released) {
+                return LeakVerdict::TransientParams;
+            }
+            // Rule 4 is only sound when every argument either replaces a
+            // scalar member or stays local; a read-only-key use alongside
+            // defeats the proof, matching the paper's rule application.
+            if non_thread.iter().all(|s| {
+                s.escape == Some(EscapeKind::ScalarReplace)
+                    || (s.fate == Retention::Released && !s.read_only_key)
+            }) {
+                return LeakVerdict::MemberReplacement;
+            }
+        }
+        LeakVerdict::UnboundedLeak
+    }
+}
+
+// ------------------------------------------------------------------
+// Detector front-end
+// ------------------------------------------------------------------
+
+/// One IPC method's dataflow verdict with provenance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VerdictRow {
+    /// The IPC method.
+    pub ipc: IpcMethod,
+    /// Derived verdict.
+    pub verdict: LeakVerdict,
+    /// Allocation sites backing the verdict.
+    pub sites: Vec<SiteSummary>,
+    /// Whether a signature-level permission gates the method (sifted by
+    /// the permission filter regardless of the verdict).
+    pub signature_gated: bool,
+}
+
+/// Output of the dataflow-backed detector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowOutput {
+    /// Legacy-shaped risky/sifted split, for the pipeline.
+    pub detector: DetectorOutput,
+    /// Per-IPC-method verdict rows (diagnostics input).
+    pub verdicts: Vec<VerdictRow>,
+    /// Solver statistics.
+    pub stats: SolverStats,
+}
+
+/// Divergence between the dataflow detector and the legacy oracle.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrossCheck {
+    /// `(service, method)` risky for the oracle but sifted by dataflow —
+    /// a false release; must be empty.
+    pub legacy_only: Vec<(String, String)>,
+    /// Risky for dataflow but sifted by the oracle — acceptable
+    /// (leak-side) conservatism.
+    pub dataflow_only: Vec<(String, String)>,
+}
+
+impl DataflowOutput {
+    /// Compares the risky sets against the legacy heuristic detector.
+    pub fn cross_check(&self, oracle: &DetectorOutput) -> CrossCheck {
+        let key = |r: &RiskyInterface| (r.ipc.service.clone(), r.ipc.method.clone());
+        let ours: BTreeSet<_> = self.detector.risky.iter().map(key).collect();
+        let theirs: BTreeSet<_> = oracle.risky.iter().map(key).collect();
+        CrossCheck {
+            legacy_only: theirs.difference(&ours).cloned().collect(),
+            dataflow_only: ours.difference(&theirs).cloned().collect(),
+        }
+    }
+}
+
+/// Step-3 detector backed by the dataflow leak-check pass.
+///
+/// # Example
+///
+/// ```
+/// use jgre_analysis::{DataflowDetector, IpcMethodExtractor, JgrEntryExtractor};
+/// use jgre_corpus::{spec::AospSpec, CodeModel};
+///
+/// let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+/// let ipc = IpcMethodExtractor::new(&model).extract();
+/// let entries = JgrEntryExtractor::new(&model).extract();
+/// let output = DataflowDetector::new(&model, &entries).detect(&ipc);
+/// assert_eq!(output.detector.risky.len(), 63);
+/// ```
+#[derive(Debug)]
+pub struct DataflowDetector<'m> {
+    model: &'m CodeModel,
+    entries: &'m JgrEntrySets,
+}
+
+impl<'m> DataflowDetector<'m> {
+    /// Wraps the model and the step-2 output.
+    pub fn new(model: &'m CodeModel, entries: &'m JgrEntrySets) -> Self {
+        Self { model, entries }
+    }
+
+    /// Classifies every IPC method from dataflow verdicts.
+    pub fn detect(&self, ipc_methods: &[IpcMethod]) -> DataflowOutput {
+        let analysis = LeakChecker::new(self.model).analyze();
+        let mut risky = Vec::new();
+        let mut sifted = Vec::new();
+        let mut verdicts = Vec::new();
+        for ipc in ipc_methods {
+            let Some(root) = ipc.java else {
+                // Native-service entry points: bodies live in the native
+                // world; none of the exploitable JNI paths start there.
+                sifted.push((ipc.clone(), SiftReason::NoJgrReach));
+                verdicts.push(VerdictRow {
+                    ipc: ipc.clone(),
+                    verdict: LeakVerdict::NoJgr,
+                    sites: Vec::new(),
+                    signature_gated: false,
+                });
+                continue;
+            };
+            let def = self.model.method(root);
+            let summary = analysis.summary(root);
+            let verdict = analysis.verdict_for(root);
+            let signature_gated = def
+                .permission_checks
+                .iter()
+                .any(|p| p.level() == ProtectionLevel::Signature);
+            if signature_gated {
+                sifted.push((ipc.clone(), SiftReason::SignaturePermission));
+            } else if let Some(reason) = verdict.sift_reason() {
+                sifted.push((ipc.clone(), reason));
+            } else {
+                let reached_entries: Vec<MethodId> = summary
+                    .sites
+                    .iter()
+                    .map(|s| s.method)
+                    .filter(|m| self.entries.java_entries.contains(m))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                risky.push(RiskyInterface {
+                    ipc: ipc.clone(),
+                    reached_entries,
+                    via_binder_params: !def.binder_params.is_empty(),
+                    via_handler_edge: summary.saw_handler,
+                });
+            }
+            verdicts.push(VerdictRow {
+                ipc: ipc.clone(),
+                verdict,
+                sites: summary.sites.clone(),
+                signature_gated,
+            });
+        }
+        DataflowOutput {
+            detector: DetectorOutput { risky, sifted },
+            verdicts,
+            stats: analysis.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{IpcMethodExtractor, JgrEntryExtractor, ServiceKind, VulnerableIpcDetector};
+    use jgre_corpus::spec::AospSpec;
+
+    fn detect() -> DataflowOutput {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let ipc = IpcMethodExtractor::new(&model).extract();
+        let entries = JgrEntryExtractor::new(&model).extract();
+        DataflowDetector::new(&model, &entries).detect(&ipc)
+    }
+
+    #[test]
+    fn verdicts_reproduce_the_static_counts() {
+        let out = detect();
+        let system_risky = out
+            .detector
+            .risky
+            .iter()
+            .filter(|r| r.ipc.kind == ServiceKind::SystemService)
+            .count();
+        assert_eq!(system_risky, 57, "54 vulnerable + 3 bounded");
+        assert_eq!(out.detector.risky.len(), 63);
+        // The three bounded collections get the BoundedRetention verdict.
+        let bounded = out
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict == LeakVerdict::BoundedRetention)
+            .count();
+        assert_eq!(bounded, 3, "Table III's sound per-process limits");
+    }
+
+    #[test]
+    fn every_sift_rule_is_derived() {
+        let out = detect();
+        let seen: BTreeSet<LeakVerdict> = out.verdicts.iter().map(|v| v.verdict).collect();
+        for expected in [
+            LeakVerdict::NoJgr,
+            LeakVerdict::ThreadCreateRelease,
+            LeakVerdict::TransientParams,
+            LeakVerdict::MemberReplacement,
+            LeakVerdict::BoundedRetention,
+            LeakVerdict::UnboundedLeak,
+        ] {
+            assert!(
+                seen.contains(&expected),
+                "verdict {expected:?} never derived"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_exactly_with_the_legacy_oracle() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let ipc = IpcMethodExtractor::new(&model).extract();
+        let entries = JgrEntryExtractor::new(&model).extract();
+        let dataflow = DataflowDetector::new(&model, &entries).detect(&ipc);
+        let legacy = VulnerableIpcDetector::new(&model, &entries).detect(&ipc);
+        let diff = dataflow.cross_check(&legacy);
+        assert_eq!(diff, CrossCheck::default(), "detectors diverge");
+        // Stronger: the full risky rows (provenance included) coincide.
+        assert_eq!(dataflow.detector, legacy);
+    }
+
+    #[test]
+    fn thread_peer_is_released_and_death_recipient_retained() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let analysis = LeakChecker::new(&model).analyze();
+        let thread = model
+            .find_method("java.lang.Thread", "nativeCreate")
+            .unwrap();
+        assert_eq!(
+            analysis.summary(thread).retention(),
+            Some(Retention::Released)
+        );
+        let link = model
+            .find_method("android.os.Binder", "linkToDeathNative")
+            .unwrap();
+        assert_eq!(
+            analysis.summary(link).retention(),
+            Some(Retention::Unbounded)
+        );
+        // The retention propagates up the plumbing chain.
+        let rcl = model
+            .find_method("android.os.RemoteCallbackList", "register")
+            .unwrap();
+        assert_eq!(
+            analysis.summary(rcl).retention(),
+            Some(Retention::Unbounded)
+        );
+    }
+
+    #[test]
+    fn bounded_branch_join_yields_bounded_fate() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let analysis = LeakChecker::new(&model).analyze();
+        let display = model
+            .find_method("com.android.server.DisplayService", "registerCallback")
+            .unwrap();
+        assert_eq!(analysis.verdict_for(display), LeakVerdict::BoundedRetention);
+        let sites = &analysis.summary(display).sites;
+        let param = sites
+            .iter()
+            .find(|s| matches!(s.site, AllocSite::BinderParam(_)))
+            .expect("the callback argument is an allocation site");
+        assert_eq!(param.fate, Retention::Bounded);
+        assert_eq!(param.escape, Some(EscapeKind::BoundedCollection));
+        // The death recipient pinned by the guarded registration chain is
+        // capped by the same admission bound.
+        let recipient = sites
+            .iter()
+            .find(|s| s.site == AllocSite::DeathRecipient)
+            .expect("the registration chain pins a death recipient");
+        assert_eq!(recipient.fate, Retention::Bounded);
+        assert_eq!(recipient.escape, Some(EscapeKind::UnboundedCollection));
+    }
+}

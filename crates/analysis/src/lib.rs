@@ -37,18 +37,35 @@
 //! assert_eq!(report.native_paths.init_only_paths, 67);
 //! ```
 
+// The workspace warns on missing docs; the public analysis surface is
+// the reference implementation of the paper's method, so escalate.
+#![deny(missing_docs)]
+
 mod codegen;
+pub mod dataflow;
 mod detect;
+pub mod diagnostics;
 mod extract_ipc;
 mod extract_jgr;
+pub mod ir;
+pub mod leakcheck;
 mod pipeline;
 mod report;
 mod verify;
+pub mod witness;
 
 pub use codegen::{generate_test_case, GeneratedTestCase};
+pub use dataflow::{condense_call_graph, solve_forward, Condensation, ForwardAnalysis, Solution};
 pub use detect::{DetectorOutput, RiskyInterface, SiftReason, VulnerableIpcDetector};
+pub use diagnostics::{AccuracyReport, Diagnostic, LintReport, RuleId, Severity};
 pub use extract_ipc::{IpcMethod, IpcMethodExtractor, ServiceKind};
 pub use extract_jgr::{JgrEntryExtractor, JgrEntrySets, NativePathAnalysis};
+pub use ir::{BasicBlock, BlockId, Cfg, Stmt, Terminator};
+pub use leakcheck::{
+    CrossCheck, DataflowDetector, DataflowOutput, LeakChecker, LeakVerdict, MethodSummary,
+    Retention, SiteSummary, SolverStats, VerdictRow,
+};
 pub use pipeline::Pipeline;
 pub use report::{AnalysisReport, ConfirmedVulnerability, VerificationStatus};
 pub use verify::{JgreVerifier, VerifierConfig};
+pub use witness::{Witness, WitnessStep};

@@ -6,8 +6,8 @@ use jgre_corpus::CodeModel;
 use jgre_framework::System;
 
 use crate::{
-    AnalysisReport, ConfirmedVulnerability, IpcMethodExtractor, JgrEntryExtractor, JgreVerifier,
-    ServiceKind, SiftReason, VerificationStatus, VerifierConfig, VulnerableIpcDetector,
+    AnalysisReport, ConfirmedVulnerability, DataflowDetector, IpcMethodExtractor,
+    JgrEntryExtractor, JgreVerifier, ServiceKind, SiftReason, VerificationStatus, VerifierConfig,
 };
 
 /// Owns the code model and runs the methodology end to end.
@@ -75,9 +75,19 @@ impl Pipeline {
         // Step 2: JGR entries.
         let entries = JgrEntryExtractor::new(&self.model).extract();
 
-        // Step 3: detection + sifting + permission filter.
-        let detector = VulnerableIpcDetector::new(&self.model, &entries);
-        let output = detector.detect(&ipc_methods);
+        // Step 3: dataflow leak-check detection + sifting + permission
+        // filter. The legacy heuristic detector stays on as a cross-check
+        // oracle in debug builds — any divergence is a bug in one of the
+        // two implementations.
+        let flow = DataflowDetector::new(&self.model, &entries).detect(&ipc_methods);
+        debug_assert_eq!(
+            flow.cross_check(
+                &crate::VulnerableIpcDetector::new(&self.model, &entries).detect(&ipc_methods)
+            ),
+            crate::leakcheck::CrossCheck::default(),
+            "dataflow detector diverges from the heuristic oracle"
+        );
+        let output = &flow.detector;
         let mut sift_counts: BTreeMap<SiftReason, usize> = BTreeMap::new();
         for (_, reason) in &output.sifted {
             *sift_counts.entry(*reason).or_insert(0) += 1;
@@ -136,6 +146,7 @@ impl Pipeline {
             java_jgr_entries: entries.java_entries.len(),
             risky_total: output.risky.len(),
             sift_counts: sift_counts.into_iter().collect(),
+            solver: flow.stats.clone(),
             rows,
         }
     }

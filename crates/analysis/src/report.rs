@@ -5,7 +5,7 @@ use std::collections::BTreeSet;
 use jgre_corpus::spec::Permission;
 use serde::{Deserialize, Serialize};
 
-use crate::{NativePathAnalysis, ServiceKind, SiftReason};
+use crate::{NativePathAnalysis, ServiceKind, SiftReason, SolverStats};
 
 /// How a risky interface fared in step 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -56,6 +56,8 @@ pub struct AnalysisReport {
     pub risky_total: usize,
     /// Sift statistics.
     pub sift_counts: Vec<(SiftReason, usize)>,
+    /// Dataflow solver statistics (CFGs built, blocks, fixpoint work).
+    pub solver: SolverStats,
     /// Every risky row with its verification status.
     pub rows: Vec<ConfirmedVulnerability>,
 }
@@ -134,10 +136,18 @@ impl AnalysisReport {
         let confirmed = self.confirmed_service_interfaces();
         let _ = writeln!(
             md,
-            "* **{} confirmed vulnerable** interfaces in **{} services** ({} reachable with zero permissions)\n",
+            "* **{} confirmed vulnerable** interfaces in **{} services** ({} reachable with zero permissions)",
             confirmed.len(),
             self.confirmed_services().len(),
             self.zero_permission_services().len()
+        );
+        let _ = writeln!(
+            md,
+            "* Dataflow solver: {} methods / {} basic blocks, {} block transfers over {} call-graph SCCs\n",
+            self.solver.methods,
+            self.solver.cfg_blocks,
+            self.solver.solver_iterations,
+            self.solver.sccs
         );
         md.push_str("## Sift statistics\n\n| rule | candidates cleared |\n|---|---|\n");
         for (reason, count) in &self.sift_counts {
@@ -229,6 +239,7 @@ mod tests {
             java_jgr_entries: 0,
             risky_total: 3,
             sift_counts: Vec::new(),
+            solver: SolverStats::default(),
             rows: vec![
                 row("a", "m1", VerificationStatus::Confirmed),
                 row("a", "m2", VerificationStatus::Confirmed),
@@ -238,6 +249,8 @@ mod tests {
         assert_eq!(report.confirmed_service_interfaces().len(), 2);
         assert_eq!(report.confirmed_services().len(), 1);
         assert_eq!(report.zero_permission_services().len(), 1);
-        assert!(report.summary().contains("confirmed: 2 interfaces in 1 services"));
+        assert!(report
+            .summary()
+            .contains("confirmed: 2 interfaces in 1 services"));
     }
 }

@@ -207,9 +207,7 @@ impl DriveResult {
 /// Maps a risky interface to its registered service name on the device.
 fn resolve_service_name(system: &System, risky: &RiskyInterface) -> Option<String> {
     match &risky.ipc.kind {
-        ServiceKind::SystemService | ServiceKind::NativeService => {
-            Some(risky.ipc.service.clone())
-        }
+        ServiceKind::SystemService | ServiceKind::NativeService => Some(risky.ipc.service.clone()),
         ServiceKind::PrebuiltApp(pkg) => {
             let app = system
                 .spec()
@@ -260,12 +258,7 @@ mod tests {
         });
         let results = verifier.verify(&mut system, &model, &sample);
         assert_eq!(results.len(), 3);
-        let by_name = |m: &str| {
-            results
-                .iter()
-                .find(|v| v.risky.ipc.method == m)
-                .unwrap()
-        };
+        let by_name = |m: &str| results.iter().find(|v| v.risky.ipc.method == m).unwrap();
         assert!(by_name("addPrimaryClipChangedListener").confirmed);
         assert!(!by_name("registerCallback").confirmed, "sound bound holds");
         let toast = by_name("enqueueToast");

@@ -103,19 +103,20 @@ fn permission_split_of_unprotected_services() {
     use jgre_corpus::spec::{Protection, ProtectionLevel};
     let spec = AospSpec::android_6_0_1();
     let report = full_report();
-    let mut per_service: std::collections::BTreeMap<&str, Vec<&jgre_analysis::ConfirmedVulnerability>> =
-        Default::default();
+    let mut per_service: std::collections::BTreeMap<
+        &str,
+        Vec<&jgre_analysis::ConfirmedVulnerability>,
+    > = Default::default();
     for row in report.confirmed_service_interfaces() {
         let m = spec
             .service(&row.service)
             .and_then(|s| s.method(&row.method))
             .expect("confirmed rows exist in the spec");
         if matches!(m.protection, Protection::None) {
-            per_service.entry(
-                spec.service(&row.service).map(|s| s.name.as_str()).unwrap(),
-            )
-            .or_default()
-            .push(row);
+            per_service
+                .entry(spec.service(&row.service).map(|s| s.name.as_str()).unwrap())
+                .or_default()
+                .push(row);
         }
     }
     assert_eq!(per_service.len(), 26);

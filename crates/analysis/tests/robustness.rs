@@ -28,7 +28,9 @@ fn service_classes(model: &CodeModel) -> Vec<String> {
         .iter()
         .filter(|c| {
             c.name.starts_with("com.android.server.")
-                && c.methods.iter().any(|&m| model.method(m).overrides_aidl.is_some())
+                && c.methods
+                    .iter()
+                    .any(|&m| model.method(m).overrides_aidl.is_some())
         })
         .map(|c| c.name.clone())
         .take(32)

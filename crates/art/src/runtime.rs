@@ -547,12 +547,7 @@ mod tests {
     use std::rc::Rc;
 
     fn runtime_with_cap(cap: usize) -> Runtime {
-        Runtime::with_global_capacity(
-            Pid::new(1000),
-            SimClock::new(),
-            TraceSink::disabled(),
-            cap,
-        )
+        Runtime::with_global_capacity(Pid::new(1000), SimClock::new(), TraceSink::disabled(), cap)
     }
 
     #[test]
@@ -686,12 +681,8 @@ mod tests {
     fn weak_global_overflow_errors_without_aborting() {
         // Weak tables share the 51200-style cap but blowing them is not a
         // process abort — no attack in the paper goes through weak refs.
-        let mut rt = Runtime::with_global_capacity(
-            Pid::new(1),
-            SimClock::new(),
-            TraceSink::disabled(),
-            8,
-        );
+        let mut rt =
+            Runtime::with_global_capacity(Pid::new(1), SimClock::new(), TraceSink::disabled(), 8);
         let obj = rt.alloc("pinned");
         rt.retain(obj).unwrap();
         let mut refs = Vec::new();

@@ -114,7 +114,8 @@ pub fn run_interleaved(
         }
         for m in &svc.methods {
             if matches!(m.jgr, JgrBehavior::NoJgr | JgrBehavior::Transient)
-                && m.permission.is_none_or(|p| p.level() == ProtectionLevel::Normal)
+                && m.permission
+                    .is_none_or(|p| p.level() == ProtectionLevel::Normal)
                 && m.permission.is_none()
             {
                 innocent.push((svc.name.clone(), m.name.clone()));
@@ -196,7 +197,11 @@ pub fn run_interleaved(
         }
     }
     InterleaveStats {
-        calls_per_actor: actors.iter().zip(&calls).map(|(a, &c)| (a.uid, c)).collect(),
+        calls_per_actor: actors
+            .iter()
+            .zip(&calls)
+            .map(|(a, &c)| (a.uid, c))
+            .collect(),
         any_abort,
         ended_at: system.now(),
     }
@@ -221,14 +226,21 @@ mod tests {
         let stats = run_interleaved(
             &mut system,
             vec![
-                Actor { uid: mal, kind: ActorKind::Attacker(vector) },
+                Actor {
+                    uid: mal,
+                    kind: ActorKind::Attacker(vector),
+                },
                 Actor {
                     uid: b1,
-                    kind: ActorKind::ChattyBenign { max_gap: SimDuration::from_millis(50) },
+                    kind: ActorKind::ChattyBenign {
+                        max_gap: SimDuration::from_millis(50),
+                    },
                 },
                 Actor {
                     uid: b2,
-                    kind: ActorKind::ChattyBenign { max_gap: SimDuration::from_millis(100) },
+                    kind: ActorKind::ChattyBenign {
+                        max_gap: SimDuration::from_millis(100),
+                    },
                 },
             ],
             SimDuration::from_secs(20),
@@ -261,14 +273,11 @@ mod tests {
                 kind: ActorKind::Attacker(v),
             })
             .collect();
-        let stats = run_interleaved(
-            &mut system,
-            actors,
-            SimDuration::from_secs(2_000),
-            5,
-            true,
+        let stats = run_interleaved(&mut system, actors, SimDuration::from_secs(2_000), 5, true);
+        assert!(
+            stats.any_abort,
+            "4 colluding attackers must blow a 400-cap table"
         );
-        assert!(stats.any_abort, "4 colluding attackers must blow a 400-cap table");
         assert_eq!(system.soft_reboots(), 1);
     }
 
@@ -286,10 +295,15 @@ mod tests {
             run_interleaved(
                 &mut system,
                 vec![
-                    Actor { uid: mal, kind: ActorKind::Attacker(vector) },
+                    Actor {
+                        uid: mal,
+                        kind: ActorKind::Attacker(vector),
+                    },
                     Actor {
                         uid: b,
-                        kind: ActorKind::ChattyBenign { max_gap: SimDuration::from_millis(80) },
+                        kind: ActorKind::ChattyBenign {
+                            max_gap: SimDuration::from_millis(80),
+                        },
                     },
                 ],
                 SimDuration::from_secs(5),

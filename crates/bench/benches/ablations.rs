@@ -56,7 +56,12 @@ struct ThresholdRow {
 /// Ablation 2: sweep the alarm thresholds and report when detection fires.
 fn threshold_sensitivity() -> Vec<ThresholdRow> {
     let mut rows = Vec::new();
-    for (record, trigger) in [(100usize, 300usize), (250, 750), (500, 1_500), (1_000, 2_400)] {
+    for (record, trigger) in [
+        (100usize, 300usize),
+        (250, 750),
+        (500, 1_500),
+        (1_000, 2_400),
+    ] {
         let mut system = System::boot_with(SystemConfig {
             seed: 5,
             jgr_capacity: Some(3_200),
@@ -75,7 +80,12 @@ fn threshold_sensitivity() -> Vec<ThresholdRow> {
         let mut calls = 0u64;
         let detected = loop {
             let o = system
-                .call_service(mal, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    mal,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .expect("clipboard registered");
             calls += 1;
             assert!(!o.host_aborted, "defense must fire before exhaustion");
@@ -225,7 +235,13 @@ fn multipath_comparison() -> Vec<MultiPathRow> {
             kind: ActorKind::MultiPathAttacker { vector, paths },
         }];
         for _ in 0..10_000 {
-            run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(500), 31, true);
+            run_interleaved(
+                &mut system,
+                actors.clone(),
+                SimDuration::from_millis(500),
+                31,
+                true,
+            );
             if !defender.monitor().alarmed_pids().is_empty() {
                 break;
             }
@@ -287,8 +303,10 @@ fn generate_artifacts() {
     assert!(placement[1].attacker_retained_after_300_calls <= 1);
 
     let multipath = multipath_comparison();
-    let mut text = String::from("Ablation — multi-path evasion vs path classification (§VI)
-");
+    let mut text = String::from(
+        "Ablation — multi-path evasion vs path classification (§VI)
+",
+    );
     for r in &multipath {
         text.push_str(&format!(
             "paths={} classify={}: attacker score {}
@@ -322,7 +340,7 @@ fn bench_histograms(c: &mut Criterion) {
             |b, p| b.iter(|| segment_tree_scores(std::hint::black_box(&ipc), &jgr, *p)),
         );
         group.bench_with_input(BenchmarkId::new("naive", delta_us), &params, |b, p| {
-            b.iter(|| naive_scores(std::hint::black_box(&ipc), &jgr, *p))
+            b.iter(|| naive_scores(std::hint::black_box(&ipc), &jgr, *p));
         });
     }
     group.finish();

@@ -27,24 +27,22 @@ fn bench_pipeline(c: &mut Criterion) {
     let model = CodeModel::synthesize(&spec);
     let mut group = c.benchmark_group("analysis");
     group.bench_function("corpus_synthesis", |b| {
-        b.iter(|| CodeModel::synthesize(std::hint::black_box(&spec)))
+        b.iter(|| CodeModel::synthesize(std::hint::black_box(&spec)));
     });
     group.bench_function("ipc_method_extractor", |b| {
-        b.iter(|| IpcMethodExtractor::new(std::hint::black_box(&model)).extract())
+        b.iter(|| IpcMethodExtractor::new(std::hint::black_box(&model)).extract());
     });
     group.bench_function("jgr_entry_extractor", |b| {
-        b.iter(|| JgrEntryExtractor::new(std::hint::black_box(&model)).extract())
+        b.iter(|| JgrEntryExtractor::new(std::hint::black_box(&model)).extract());
     });
     let ipc = IpcMethodExtractor::new(&model).extract();
     let entries = JgrEntryExtractor::new(&model).extract();
     group.bench_function("vulnerable_ipc_detector", |b| {
-        b.iter(|| {
-            VulnerableIpcDetector::new(std::hint::black_box(&model), &entries).detect(&ipc)
-        })
+        b.iter(|| VulnerableIpcDetector::new(std::hint::black_box(&model), &entries).detect(&ipc));
     });
     group.bench_function("static_pipeline_full", |b| {
         let pipeline = Pipeline::new(CodeModel::synthesize(&spec));
-        b.iter(|| pipeline.run_static())
+        b.iter(|| pipeline.run_static());
     });
     group.finish();
 }

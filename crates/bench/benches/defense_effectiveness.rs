@@ -28,7 +28,7 @@ fn bench_effectiveness_quick(c: &mut Criterion) {
     let mut group = c.benchmark_group("defense");
     group.sample_size(10);
     group.bench_function("all_57_vectors_quick_scale", |b| {
-        b.iter(|| experiments::defense_effectiveness(ExperimentScale::quick()))
+        b.iter(|| experiments::defense_effectiveness(ExperimentScale::quick()));
     });
     group.finish();
 }

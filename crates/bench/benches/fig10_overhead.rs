@@ -50,7 +50,7 @@ fn bench_transactions(c: &mut Criterion) {
                             std::hint::black_box(&parcel),
                         )
                         .expect("node is alive")
-                })
+                });
             },
         );
     }

@@ -45,7 +45,7 @@ fn bench_exhaustion(c: &mut Criterion) {
                 ..SystemConfig::default()
             });
             run_exhaustion_attack(&mut system, &vector, 10_000, 400)
-        })
+        });
     });
 }
 

@@ -40,7 +40,7 @@ fn bench_benign_session(c: &mut Criterion) {
                 7,
             );
             workload.run(&mut system)
-        })
+        });
     });
 }
 

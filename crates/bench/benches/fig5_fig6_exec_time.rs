@@ -26,7 +26,11 @@ fn generate_artifacts() {
     // slightly past it because `midi.registerDeviceServer` is modelled at
     // 4 references per call (so 1000 calls store 4000 entries and its
     // growth term kicks in earlier than in the paper's run).
-    assert!(fig6.percentile(90) <= 8_000, "p90 {}µs", fig6.percentile(90));
+    assert!(
+        fig6.percentile(90) <= 8_000,
+        "p90 {}µs",
+        fig6.percentile(90)
+    );
     assert!(
         fig6.percentile(100) <= 14_000,
         "p100 {}µs",
@@ -41,9 +45,14 @@ fn bench_ipc_call(c: &mut Criterion) {
         let app = system.install_app("com.bench", []);
         b.iter(|| {
             system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .expect("clipboard registered")
-        })
+        });
     });
     group.bench_function("innocent_handler", |b| {
         let mut system = System::boot(3);
@@ -52,7 +61,7 @@ fn bench_ipc_call(c: &mut Criterion) {
             system
                 .call_service(app, "clipboard", "getState", CallOptions::default())
                 .expect("innocent method exists")
-        })
+        });
     });
     group.finish();
 }

@@ -56,10 +56,10 @@ fn bench_scoring(c: &mut Criterion) {
     let mut group = c.benchmark_group("algorithm1");
     group.sample_size(20);
     group.bench_function("segment_tree_8000_adds", |b| {
-        b.iter(|| segment_tree_scores(std::hint::black_box(&ipc), &jgr, params))
+        b.iter(|| segment_tree_scores(std::hint::black_box(&ipc), &jgr, params));
     });
     group.bench_function("naive_8000_adds", |b| {
-        b.iter(|| naive_scores(std::hint::black_box(&ipc), &jgr, params))
+        b.iter(|| naive_scores(std::hint::black_box(&ipc), &jgr, params));
     });
     group.finish();
 }

@@ -24,7 +24,7 @@ fn bench_collusion_round(c: &mut Criterion) {
     let mut group = c.benchmark_group("collusion");
     group.sample_size(10);
     group.bench_function("fig9_quick_scale_end_to_end", |b| {
-        b.iter(|| experiments::fig9(ExperimentScale::quick()))
+        b.iter(|| experiments::fig9(ExperimentScale::quick()));
     });
     group.finish();
 }

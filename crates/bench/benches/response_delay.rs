@@ -3,10 +3,10 @@
 //! and `midi.registerDeviceServer` slowest at ≈3.6 s.
 
 use criterion::{criterion_group, Criterion};
+use jgre_attack::AttackVector;
 use jgre_bench::{artifacts_enabled, write_artifact};
 use jgre_core::experiments::run_defended_attack;
 use jgre_core::{experiments, ExperimentScale};
-use jgre_attack::AttackVector;
 use jgre_corpus::spec::AospSpec;
 use jgre_defense::JgreDefender;
 use jgre_framework::{System, SystemConfig};
@@ -37,7 +37,7 @@ fn generate_artifacts() {
     // Every detection is far faster than the fastest exhaustion (~100 s):
     // the attack cannot outrun the defense.
     for row in &r.rows {
-        assert!(row.response_delay_us < 50_000_000, "{:?}", row);
+        assert!(row.response_delay_us < 50_000_000, "{row:?}");
     }
 }
 
@@ -59,7 +59,7 @@ fn bench_defended_attack(c: &mut Criterion) {
             });
             let defender = JgreDefender::install(&mut system, scale.defender_config());
             run_defended_attack(&mut system, &defender, &vector, 10_000)
-        })
+        });
     });
     group.finish();
 }

@@ -18,9 +18,11 @@ fn bench_irt(c: &mut Criterion) {
         let mut table = IndirectRefTable::new(RefKind::Global, 1 << 20);
         let obj = heap.alloc("x");
         b.iter(|| {
-            let r = table.add(std::hint::black_box(obj)).expect("below capacity");
+            let r = table
+                .add(std::hint::black_box(obj))
+                .expect("below capacity");
             table.remove(r).expect("just added");
-        })
+        });
     });
     group.bench_function("frame_push_pop_8_locals", |b| {
         let mut heap = Heap::new();
@@ -32,7 +34,7 @@ fn bench_irt(c: &mut Criterion) {
                 table.add(o).expect("frame has room");
             }
             table.pop_frame(cookie).expect("balanced")
-        })
+        });
     });
     group.finish();
 }
@@ -44,8 +46,7 @@ fn bench_gc(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("collect", garbage), &garbage, |b, &n| {
             b.iter_batched(
                 || {
-                    let mut rt =
-                        Runtime::new(Pid::new(1), SimClock::new(), TraceSink::disabled());
+                    let mut rt = Runtime::new(Pid::new(1), SimClock::new(), TraceSink::disabled());
                     for _ in 0..n {
                         rt.alloc("garbage");
                     }
@@ -53,7 +54,7 @@ fn bench_gc(c: &mut Criterion) {
                 },
                 |mut rt| rt.collect_garbage(),
                 criterion::BatchSize::SmallInput,
-            )
+            );
         });
     }
     group.finish();
@@ -72,7 +73,7 @@ fn bench_monitor(c: &mut Criterion) {
         b.iter(|| {
             let r = rt.add_global(std::hint::black_box(obj)).expect("huge cap");
             rt.delete_global(r).expect("just added");
-        })
+        });
     });
 }
 
@@ -85,7 +86,7 @@ fn bench_dispatch(c: &mut Criterion) {
             system
                 .call_service(app, "clipboard", "getState", CallOptions::default())
                 .expect("innocent method exists")
-        })
+        });
     });
     group.finish();
 }

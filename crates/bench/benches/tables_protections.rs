@@ -33,7 +33,7 @@ fn bench_protection_paths(c: &mut Criterion) {
             // app and the helper releases above its cap via errors we
             // ignore here.
             let _ = system.call_service(app, "wifi", "acquireWifiLock", CallOptions::benign());
-        })
+        });
     });
     group.bench_function("server_limited_call", |b| {
         let mut system = System::boot(9);
@@ -42,7 +42,7 @@ fn bench_protection_paths(c: &mut Criterion) {
             system
                 .call_service(app, "display", "registerCallback", CallOptions::default())
                 .expect("display registered")
-        })
+        });
     });
     group.finish();
 }

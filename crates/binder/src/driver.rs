@@ -246,7 +246,9 @@ impl BinderDriver {
                 limit: TRANSACTION_BUFFER_LIMIT,
             });
         }
-        let cost = self.latency.transaction_cost(payload_bytes, self.defense_recording);
+        let cost = self
+            .latency
+            .transaction_cost(payload_bytes, self.defense_recording);
         let at = self.clock.now();
         self.clock.advance(cost);
         let record = IpcRecord {
@@ -301,7 +303,12 @@ impl BinderDriver {
     /// # Errors
     ///
     /// [`BinderError::UnknownNode`] / [`BinderError::DeadNode`].
-    pub fn link_to_death(&mut self, node: NodeId, watcher: Pid, key: u64) -> Result<(), BinderError> {
+    pub fn link_to_death(
+        &mut self,
+        node: NodeId,
+        watcher: Pid,
+        key: u64,
+    ) -> Result<(), BinderError> {
         self.node_host(node)?;
         self.death_links.push(DeathLink { node, watcher, key });
         Ok(())
@@ -363,7 +370,11 @@ impl BinderDriver {
             Some(pid),
             None,
             "binder.process_death",
-            format!("nodes={} notifications={}", dead_nodes.len(), notifications.len()),
+            format!(
+                "nodes={} notifications={}",
+                dead_nodes.len(),
+                notifications.len()
+            ),
         );
         notifications
     }
@@ -384,7 +395,14 @@ mod tests {
         let mut p = Parcel::new();
         p.write_i32(1);
         let rec = d
-            .record_transaction(Pid::new(9000), Uid::new(10061), node, "IWifiManager", "acquireWifiLock", &p)
+            .record_transaction(
+                Pid::new(9000),
+                Uid::new(10061),
+                node,
+                "IWifiManager",
+                "acquireWifiLock",
+                &p,
+            )
             .unwrap();
         assert_eq!(rec.to_pid, Pid::new(412));
         assert_eq!(rec.ipc_type(), "IWifiManager.acquireWifiLock");
@@ -399,7 +417,10 @@ mod tests {
         let p = Parcel::new();
         d.record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
             .unwrap();
-        assert!(clock.now() > SimTime::ZERO, "latency model must advance time");
+        assert!(
+            clock.now() > SimTime::ZERO,
+            "latency model must advance time"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl fmt::Display for BinderError {
             }
             BinderError::ParcelUnderflow => write!(f, "read past end of parcel"),
             BinderError::ParcelTypeMismatch { expected, found } => {
-                write!(f, "parcel type mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "parcel type mismatch: expected {expected}, found {found}"
+                )
             }
             BinderError::UnknownDeathLink => write!(f, "death link not found"),
             BinderError::TransactionTooLarge { size, limit } => {

@@ -93,7 +93,10 @@ mod tests {
             let defended = m.transaction_cost(kb * 1024, true).as_micros();
             max_added = max_added.max(defended - stock);
         }
-        assert!(max_added <= 1_247, "added delay {max_added}µs exceeds paper bound");
+        assert!(
+            max_added <= 1_247,
+            "added delay {max_added}µs exceeds paper bound"
+        );
     }
 
     #[test]

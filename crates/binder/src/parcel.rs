@@ -108,7 +108,10 @@ impl Parcel {
     }
 
     fn read(&mut self, expected: &'static str) -> Result<&ParcelValue, BinderError> {
-        let value = self.values.get(self.cursor).ok_or(BinderError::ParcelUnderflow)?;
+        let value = self
+            .values
+            .get(self.cursor)
+            .ok_or(BinderError::ParcelUnderflow)?;
         if value.type_name() != expected {
             return Err(BinderError::ParcelTypeMismatch {
                 expected,

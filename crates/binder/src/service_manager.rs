@@ -38,7 +38,11 @@ impl ServiceManager {
     /// # Errors
     ///
     /// [`BinderError::ServiceNameTaken`] when the name is already bound.
-    pub fn add_service(&mut self, name: impl Into<String>, node: NodeId) -> Result<(), BinderError> {
+    pub fn add_service(
+        &mut self,
+        name: impl Into<String>,
+        node: NodeId,
+    ) -> Result<(), BinderError> {
         let name = name.into();
         if self.services.contains_key(&name) {
             return Err(BinderError::ServiceNameTaken(name));

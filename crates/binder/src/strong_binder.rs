@@ -95,7 +95,11 @@ mod tests {
         }
         assert_eq!(rt.global_count(), 10);
         rt.collect_garbage();
-        assert_eq!(rt.global_count(), 0, "innocent pattern: GC drains the table");
+        assert_eq!(
+            rt.global_count(),
+            0,
+            "innocent pattern: GC drains the table"
+        );
     }
 
     #[test]
@@ -108,7 +112,11 @@ mod tests {
             retained.push(rb);
         }
         rt.collect_garbage();
-        assert_eq!(rt.global_count(), 10, "vulnerable pattern: retention pins the JGR");
+        assert_eq!(
+            rt.global_count(),
+            10,
+            "vulnerable pattern: retention pins the JGR"
+        );
         // Releasing (e.g. on caller death) lets the next GC drain it.
         for rb in retained {
             rt.release(rb.proxy).unwrap();

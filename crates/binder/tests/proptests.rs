@@ -37,7 +37,7 @@ proptest! {
                 ParcelValue::String(s) => prop_assert_eq!(&parcel.read_string().unwrap(), s),
                 ParcelValue::Blob(n) => prop_assert_eq!(parcel.read_blob().unwrap(), *n),
                 ParcelValue::StrongBinder(n) => {
-                    prop_assert_eq!(parcel.read_strong_binder().unwrap(), *n)
+                    prop_assert_eq!(parcel.read_strong_binder().unwrap(), *n);
                 }
             }
         }

@@ -120,7 +120,12 @@ mod tests {
         // next call, table near the floor).
         let benign = device.system_mut().install_app("com.fine", []);
         let o = device
-            .call_service(benign, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                benign,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .expect("still serving");
         assert!(o.status.is_completed());
     }

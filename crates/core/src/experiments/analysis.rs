@@ -339,7 +339,9 @@ mod tests {
         let t = table1(ExperimentScale::quick());
         assert_eq!(t.rows.len(), 44);
         assert_eq!(t.service_split, (19, 4, 3));
-        assert!(t.render().contains("19 zero-permission, 4 normal, 3 dangerous"));
+        assert!(t
+            .render()
+            .contains("19 zero-permission, 4 normal, 3 dangerous"));
     }
 
     #[test]
@@ -347,8 +349,7 @@ mod tests {
         let t = table4(ExperimentScale::quick());
         assert_eq!(t.apps_scanned, 88);
         assert_eq!(t.rows.len(), 3);
-        let apps: std::collections::BTreeSet<_> =
-            t.rows.iter().map(|r| r.app.as_str()).collect();
+        let apps: std::collections::BTreeSet<_> = t.rows.iter().map(|r| r.app.as_str()).collect();
         assert_eq!(apps, ["Bluetooth", "PicoTts"].into_iter().collect());
         assert!(t.rows.iter().any(|r| r.code_path == "external/svox/pico"));
     }
@@ -358,8 +359,7 @@ mod tests {
         let t = table5(ExperimentScale::quick());
         assert_eq!(t.apps_scanned, 1_000);
         assert_eq!(t.rows.len(), 3);
-        let apps: std::collections::BTreeSet<_> =
-            t.rows.iter().map(|r| r.app.as_str()).collect();
+        let apps: std::collections::BTreeSet<_> = t.rows.iter().map(|r| r.app.as_str()).collect();
         assert_eq!(
             apps,
             ["Google Text-to-speech", "SnapMovie", "Supernet VPN"]

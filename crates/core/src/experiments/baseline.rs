@@ -61,8 +61,16 @@ pub fn fig4(scale: ExperimentScale, apps: usize, session_secs: u64) -> Fig4 {
     );
     let samples = workload.run(&mut system);
     assert_eq!(system.soft_reboots(), 0, "benign load must never reboot");
-    let jgr_min = samples.iter().map(|s| s.system_server_jgr).min().unwrap_or(0);
-    let jgr_max = samples.iter().map(|s| s.system_server_jgr).max().unwrap_or(0);
+    let jgr_min = samples
+        .iter()
+        .map(|s| s.system_server_jgr)
+        .min()
+        .unwrap_or(0);
+    let jgr_max = samples
+        .iter()
+        .map(|s| s.system_server_jgr)
+        .max()
+        .unwrap_or(0);
     let proc_min = samples.iter().map(|s| s.processes).min().unwrap_or(0);
     let proc_max = samples.iter().map(|s| s.processes).max().unwrap_or(0);
     Fig4 {

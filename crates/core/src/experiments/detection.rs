@@ -364,8 +364,11 @@ impl Fig9 {
     /// For a given Δ, whether the four malicious apps occupy the top four
     /// ranks.
     pub fn top4_all_malicious(&self, delta_us: u64) -> bool {
-        let mut at_delta: Vec<&Fig9Row> =
-            self.rows.iter().filter(|r| r.delta_us == delta_us).collect();
+        let mut at_delta: Vec<&Fig9Row> = self
+            .rows
+            .iter()
+            .filter(|r| r.delta_us == delta_us)
+            .collect();
         at_delta.sort_by_key(|r| std::cmp::Reverse(r.score));
         at_delta.iter().take(4).all(|r| r.malicious)
     }
@@ -375,8 +378,7 @@ impl Fig9 {
         let mut out = String::from("Figure 9 — colluding attackers, Δ sweep\n");
         for &delta in &self.deltas_us {
             let _ = writeln!(out, "Δ = {delta}µs:");
-            let mut at: Vec<&Fig9Row> =
-                self.rows.iter().filter(|r| r.delta_us == delta).collect();
+            let mut at: Vec<&Fig9Row> = self.rows.iter().filter(|r| r.delta_us == delta).collect();
             at.sort_by_key(|r| std::cmp::Reverse(r.score));
             for r in at.iter().take(5) {
                 let _ = writeln!(
@@ -450,8 +452,7 @@ pub fn fig9(scale: ExperimentScale) -> Fig9 {
     }
     let mut rows = Vec::new();
     for &delta in &deltas_us {
-        if let Some(report) =
-            defender.score_only(&system, victim, SimDuration::from_micros(delta))
+        if let Some(report) = defender.score_only(&system, victim, SimDuration::from_micros(delta))
         {
             for s in &report.scores {
                 rows.push(Fig9Row {

@@ -32,7 +32,10 @@ pub struct Fig3 {
 impl Fig3 {
     /// Fastest exhaustion, seconds.
     pub fn fastest_secs(&self) -> f64 {
-        self.series.first().map(|s| s.exhaustion_secs).unwrap_or(0.0)
+        self.series
+            .first()
+            .map(|s| s.exhaustion_secs)
+            .unwrap_or(0.0)
     }
 
     /// Slowest exhaustion, seconds.

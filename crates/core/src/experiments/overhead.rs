@@ -83,7 +83,14 @@ pub fn fig10(scale: ExperimentScale, rounds: usize) -> Fig10 {
         parcel.write_blob(kib * 1024);
         let before = clock.now();
         driver
-            .record_transaction(Pid::new(9000), Uid::new(10_000), node, "IEcho", "deliver", &parcel)
+            .record_transaction(
+                Pid::new(9000),
+                Uid::new(10_000),
+                node,
+                "IEcho",
+                "deliver",
+                &parcel,
+            )
             .expect("node is alive");
         (clock.now() - before).as_micros()
     };

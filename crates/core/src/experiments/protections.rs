@@ -48,7 +48,11 @@ impl Table2 {
                 r.helper_class,
                 r.method,
                 r.helper_allowed,
-                if r.direct_binder_bypasses { "YES" } else { "no" },
+                if r.direct_binder_bypasses {
+                    "YES"
+                } else {
+                    "no"
+                },
                 r.direct_retained,
             );
         }
@@ -214,7 +218,11 @@ mod tests {
         let t = table2(ExperimentScale::quick());
         assert_eq!(t.rows.len(), 9);
         for r in &t.rows {
-            assert!(r.direct_binder_bypasses, "{}.{} not bypassed", r.service, r.method);
+            assert!(
+                r.direct_binder_bypasses,
+                "{}.{} not bypassed",
+                r.service, r.method
+            );
             assert!(r.helper_allowed > 0, "helper must allow some use");
         }
         let wifi = t

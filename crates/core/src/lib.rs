@@ -42,8 +42,8 @@
 //! println!("{}", table2.render());
 //! ```
 
-pub mod experiments;
 mod device;
+pub mod experiments;
 mod scale;
 
 pub use device::DefendedDevice;

@@ -31,9 +31,11 @@
 //! assert_eq!(aosp.prebuilt_apps.len(), 88);
 //! ```
 
+pub mod body;
 pub mod model;
 pub mod spec;
 
+pub use body::{synthesize_body, AllocSite, BodyStmt, FieldKind, MethodBody, Place, Var};
 pub use model::{
     service_class_name, ClassDef, CodeModel, JniRegistration, MethodDef, MethodId, NativeFunction,
     NativeFunctionId, Origin, ParamUsage,

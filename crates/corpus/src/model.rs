@@ -20,6 +20,12 @@
 //! The analysis crate must recover every headline number by walking these
 //! structures; the spec's `JgrBehavior` flags are *not* visible to it —
 //! they are compiled away into call edges and parameter-usage facts here.
+//!
+//! [`CodeModel::method_body`] (in [`body`](crate::body)) expands those
+//! facts further into a per-method statement AST — allocations, releases,
+//! stores, calls, branches — which the dataflow leak analysis lowers to a
+//! CFG. Bodies are derived on demand, so they stay consistent with the
+//! fact base by construction.
 
 use std::collections::BTreeMap;
 
@@ -204,11 +210,7 @@ impl CodeModel {
                 continue;
             }
             let def = self.method(id);
-            let _ = writeln!(
-                out,
-                "  m{} [label=\"{}.{}\"];",
-                id.0, def.class, def.name
-            );
+            let _ = writeln!(out, "  m{} [label=\"{}.{}\"];", id.0, def.class, def.name);
             for callee in &def.calls {
                 let _ = writeln!(out, "  m{} -> m{};", id.0, callee.0);
                 stack.push(*callee);
@@ -497,12 +499,12 @@ impl Builder {
         let key = fnv(&format!("{class_name}.{}", m.name));
         match m.jgr {
             JgrBehavior::RetainPerCall { grefs_per_call } => {
-                let usage = if matches!(m.protection, Protection::PerProcessLimit { flaw: None, .. })
-                {
-                    ParamUsage::StoredInCollectionBounded
-                } else {
-                    ParamUsage::StoredInCollection
-                };
+                let usage =
+                    if matches!(m.protection, Protection::PerProcessLimit { flaw: None, .. }) {
+                        ParamUsage::StoredInCollectionBounded
+                    } else {
+                        ParamUsage::StoredInCollection
+                    };
                 for _ in 0..grefs_per_call.max(1) {
                     self.methods[id.0 as usize].binder_params.push(usage);
                 }
@@ -593,8 +595,7 @@ impl Builder {
             match &app.vulnerable_interface {
                 Some((iface, method)) if iface == "ITextToSpeechService" => {
                     // Google TTS: extends the framework base class.
-                    let cidx =
-                        self.class(&format!("{}.TtsService", app.package), origin.clone());
+                    let cidx = self.class(&format!("{}.TtsService", app.package), origin.clone());
                     self.classes[cidx].superclass = Some(base.to_owned());
                     debug_assert_eq!(method, "setCallback");
                 }
@@ -709,7 +710,10 @@ mod tests {
     fn vulnerable_method_reaches_jgr_entry_via_calls() {
         let m = model();
         let clip = m
-            .find_method(&service_class_name("clipboard"), "addPrimaryClipChangedListener")
+            .find_method(
+                &service_class_name("clipboard"),
+                "addPrimaryClipChangedListener",
+            )
             .expect("clipboard IPC method");
         // Walk direct + handler edges to a fixpoint; must reach
         // RemoteCallbackList.register -> Binder.linkToDeath.
@@ -724,7 +728,10 @@ mod tests {
             stack.extend(def.handler_posts.iter().copied());
         }
         let link = m.find_method("android.os.Binder", "linkToDeath").unwrap();
-        assert!(seen.contains(&link), "retention chain must reach linkToDeath");
+        assert!(
+            seen.contains(&link),
+            "retention chain must reach linkToDeath"
+        );
     }
 
     #[test]
@@ -738,14 +745,20 @@ mod tests {
         let base = m
             .find_class("android.speech.tts.TextToSpeechService")
             .unwrap();
-        assert_eq!(base.asbinder_interface.as_deref(), Some("ITextToSpeechService"));
+        assert_eq!(
+            base.asbinder_interface.as_deref(),
+            Some("ITextToSpeechService")
+        );
     }
 
     #[test]
     fn dot_export_contains_the_retention_chain() {
         let m = model();
         let dot = m
-            .call_graph_dot(&service_class_name("clipboard"), "addPrimaryClipChangedListener")
+            .call_graph_dot(
+                &service_class_name("clipboard"),
+                "addPrimaryClipChangedListener",
+            )
             .expect("clipboard IPC method exists");
         assert!(dot.starts_with("digraph call_graph {"));
         assert!(dot.contains("android.os.Binder.linkToDeath"), "{dot}");
@@ -753,13 +766,14 @@ mod tests {
         assert!(m.call_graph_dot("no.Such", "method").is_none());
         // Handler-indirect chains render dashed edges.
         let spec = AospSpec::android_6_0_1();
-        let dashed = spec
-            .vulnerable_service_interfaces()
-            .find_map(|(s, mm)| {
-                let dot = m.call_graph_dot(&service_class_name(&s.name), &mm.name)?;
-                dot.contains("style=dashed").then_some(dot)
-            });
-        assert!(dashed.is_some(), "at least one vulnerable chain is Handler-routed");
+        let dashed = spec.vulnerable_service_interfaces().find_map(|(s, mm)| {
+            let dot = m.call_graph_dot(&service_class_name(&s.name), &mm.name)?;
+            dot.contains("style=dashed").then_some(dot)
+        });
+        assert!(
+            dashed.is_some(),
+            "at least one vulnerable chain is Handler-routed"
+        );
     }
 
     #[test]

@@ -88,9 +88,7 @@ impl Permission {
             Permission::AccessFineLocation | Permission::UseSip | Permission::ReadPhoneState => {
                 ProtectionLevel::Dangerous
             }
-            Permission::WriteSecureSettings | Permission::DevicePower => {
-                ProtectionLevel::Signature
-            }
+            Permission::WriteSecureSettings | Permission::DevicePower => ProtectionLevel::Signature,
             _ => ProtectionLevel::Normal,
         }
     }
@@ -512,11 +510,7 @@ struct VulnRow {
     target_secs: Option<u64>,
 }
 
-fn vuln(
-    service: &'static str,
-    method: &'static str,
-    permission: Option<Permission>,
-) -> VulnRow {
+fn vuln(service: &'static str, method: &'static str, permission: Option<Permission>) -> VulnRow {
     VulnRow {
         service,
         method,
@@ -578,7 +572,11 @@ fn table1_rows() -> Vec<VulnRow> {
         vuln("country_detector", "addCountryListener", None),
         vuln("power", "acquireWakeLock", Some(WakeLock)),
         vuln("input_method", "addClient", None),
-        vuln("accessibility", "addAccessibilityInteractionConnection", None),
+        vuln(
+            "accessibility",
+            "addAccessibilityInteractionConnection",
+            None,
+        ),
         vuln("print", "print", None),
         vuln("print", "addPrintJobStateChangeListener", None),
         vuln("print", "createPrinterDiscoverySession", None),
@@ -640,8 +638,20 @@ fn table1_rows() -> Vec<VulnRow> {
 fn table2_and_3_rows() -> Vec<VulnRow> {
     use Permission::*;
     let mut rows = vec![
-        helper("clipboard", "addPrimaryClipChangedListener", None, "ClipboardManager", 16),
-        helper("accessibility", "addClient", None, "AccessibilityManager", 16),
+        helper(
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            None,
+            "ClipboardManager",
+            16,
+        ),
+        helper(
+            "accessibility",
+            "addClient",
+            None,
+            "AccessibilityManager",
+            16,
+        ),
         helper(
             "launcherapps",
             "addOnAppsChangedListener",
@@ -659,7 +669,13 @@ fn table2_and_3_rows() -> Vec<VulnRow> {
         ),
         // MAX_ACTIVE_LOCKS = 50 in WifiManager.java (Code-Snippet 1).
         helper("wifi", "acquireWifiLock", Some(WakeLock), "WifiManager", 50),
-        helper("wifi", "acquireMulticastLock", Some(WakeLock), "WifiManager", 50),
+        helper(
+            "wifi",
+            "acquireMulticastLock",
+            Some(WakeLock),
+            "WifiManager",
+            50,
+        ),
         helper(
             "location",
             "addGpsMeasurementsListener",
@@ -1041,12 +1057,7 @@ fn build_catalog() -> AospSpec {
     }
 }
 
-fn exported_service(
-    name: &str,
-    interface: &str,
-    method: &str,
-    target_secs: u64,
-) -> ServiceSpec {
+fn exported_service(name: &str, interface: &str, method: &str, target_secs: u64) -> ServiceSpec {
     ServiceSpec {
         name: name.to_owned(),
         interface: interface.to_owned(),
@@ -1077,12 +1088,7 @@ fn build_prebuilt_apps() -> Vec<AppSpec> {
             package: "com.android.bluetooth".to_owned(),
             code_path: "packages/apps/Bluetooth".to_owned(),
             services: vec![
-                exported_service(
-                    "bluetooth_gatt",
-                    "IBluetoothGatt",
-                    "registerServer",
-                    450,
-                ),
+                exported_service("bluetooth_gatt", "IBluetoothGatt", "registerServer", 450),
                 exported_service("bluetooth_adapter", "IBluetooth", "registerCallback", 700),
             ],
         },
@@ -1101,22 +1107,92 @@ fn build_prebuilt_apps() -> Vec<AppSpec> {
         },
     ];
     let real_names = [
-        "Browser", "Calculator", "Calendar", "Camera2", "CaptivePortalLogin", "CellBroadcast",
-        "CertInstaller", "Contacts", "DeskClock", "Dialer", "DocumentsUI", "DownloadProvider",
-        "Email", "Exchange", "ExternalStorageProvider", "Gallery2", "HTMLViewer", "InputDevices",
-        "KeyChain", "Launcher3", "ManagedProvisioning", "MediaProvider", "Messaging", "Music",
-        "MusicFX", "Nfc", "PackageInstaller", "PhoneCommon", "PrintSpooler", "QuickSearchBox",
-        "Settings", "SettingsProvider", "Shell", "SoundRecorder", "Stk", "SystemUI", "TeleService",
-        "TelephonyProvider", "UserDictionaryProvider", "VpnDialogs", "WallpaperCropper",
-        "WebViewGoogle", "BasicDreams", "BackupRestoreConfirmation", "BlockedNumberProvider",
-        "BookmarkProvider", "CalendarProvider", "CallLogBackup", "CarrierConfig", "CompanionLink",
-        "ContactsProvider", "DefaultContainerService", "DeviceInfo", "DocumentsProvider",
-        "DownloadProviderUi", "EasterEgg", "EmergencyInfo", "FusedLocation", "HoloSpiralWallpaper",
-        "InCallUI", "InputMethodLatin", "LiveWallpapersPicker", "MmsService", "MtpDocumentsProvider",
-        "NfcNci", "OneTimeInitializer", "PacProcessor", "PhaseBeam", "PhotoTable",
-        "ProxyHandler", "SecureElement", "SharedStorageBackup", "SimAppDialog", "StorageManager",
-        "Tag", "Telecom", "TtsService", "TvSettings", "VoiceDialer", "WallpaperBackup",
-        "WallpaperPicker", "WapPushManager", "BuiltInPrintService", "Bips", "Traceur", "Provision",
+        "Browser",
+        "Calculator",
+        "Calendar",
+        "Camera2",
+        "CaptivePortalLogin",
+        "CellBroadcast",
+        "CertInstaller",
+        "Contacts",
+        "DeskClock",
+        "Dialer",
+        "DocumentsUI",
+        "DownloadProvider",
+        "Email",
+        "Exchange",
+        "ExternalStorageProvider",
+        "Gallery2",
+        "HTMLViewer",
+        "InputDevices",
+        "KeyChain",
+        "Launcher3",
+        "ManagedProvisioning",
+        "MediaProvider",
+        "Messaging",
+        "Music",
+        "MusicFX",
+        "Nfc",
+        "PackageInstaller",
+        "PhoneCommon",
+        "PrintSpooler",
+        "QuickSearchBox",
+        "Settings",
+        "SettingsProvider",
+        "Shell",
+        "SoundRecorder",
+        "Stk",
+        "SystemUI",
+        "TeleService",
+        "TelephonyProvider",
+        "UserDictionaryProvider",
+        "VpnDialogs",
+        "WallpaperCropper",
+        "WebViewGoogle",
+        "BasicDreams",
+        "BackupRestoreConfirmation",
+        "BlockedNumberProvider",
+        "BookmarkProvider",
+        "CalendarProvider",
+        "CallLogBackup",
+        "CarrierConfig",
+        "CompanionLink",
+        "ContactsProvider",
+        "DefaultContainerService",
+        "DeviceInfo",
+        "DocumentsProvider",
+        "DownloadProviderUi",
+        "EasterEgg",
+        "EmergencyInfo",
+        "FusedLocation",
+        "HoloSpiralWallpaper",
+        "InCallUI",
+        "InputMethodLatin",
+        "LiveWallpapersPicker",
+        "MmsService",
+        "MtpDocumentsProvider",
+        "NfcNci",
+        "OneTimeInitializer",
+        "PacProcessor",
+        "PhaseBeam",
+        "PhotoTable",
+        "ProxyHandler",
+        "SecureElement",
+        "SharedStorageBackup",
+        "SimAppDialog",
+        "StorageManager",
+        "Tag",
+        "Telecom",
+        "TtsService",
+        "TvSettings",
+        "VoiceDialer",
+        "WallpaperBackup",
+        "WallpaperPicker",
+        "WapPushManager",
+        "BuiltInPrintService",
+        "Bips",
+        "Traceur",
+        "Provision",
     ];
     for name in real_names {
         apps.push(AppSpec {
@@ -1278,9 +1354,8 @@ mod tests {
         let mut times: Vec<u64> = aosp
             .vulnerable_service_interfaces()
             .map(|(_, m)| {
-                let g = match m.jgr {
-                    JgrBehavior::RetainPerCall { grefs_per_call } => grefs_per_call,
-                    _ => unreachable!(),
+                let JgrBehavior::RetainPerCall { grefs_per_call: g } = m.jgr else {
+                    unreachable!()
                 };
                 m.cost.expected_exhaustion_us(JGR_CAP, g) / 1_000_000
             })
@@ -1293,8 +1368,16 @@ mod tests {
             "slowest {}",
             times.last().unwrap()
         );
-        let audio = aosp.service("audio").unwrap().method("startWatchingRoutes").unwrap();
-        let toast = aosp.service("notification").unwrap().method("enqueueToast").unwrap();
+        let audio = aosp
+            .service("audio")
+            .unwrap()
+            .method("startWatchingRoutes")
+            .unwrap();
+        let toast = aosp
+            .service("notification")
+            .unwrap()
+            .method("enqueueToast")
+            .unwrap();
         assert!(
             audio.cost.expected_exhaustion_us(JGR_CAP, 1)
                 < toast.cost.expected_exhaustion_us(JGR_CAP, 1)
@@ -1333,17 +1416,31 @@ mod tests {
             }
         ));
         assert!(toast.is_vulnerable());
-        let wifi_lock = aosp.service("wifi").unwrap().method("acquireWifiLock").unwrap();
+        let wifi_lock = aosp
+            .service("wifi")
+            .unwrap()
+            .method("acquireWifiLock")
+            .unwrap();
         match &wifi_lock.protection {
-            Protection::HelperThreshold { helper_class, limit } => {
+            Protection::HelperThreshold {
+                helper_class,
+                limit,
+            } => {
                 assert_eq!(helper_class, "WifiManager");
                 assert_eq!(*limit, 50, "MAX_ACTIVE_LOCKS");
             }
             other => panic!("unexpected protection {other:?}"),
         }
-        let display = aosp.service("display").unwrap().method("registerCallback").unwrap();
+        let display = aosp
+            .service("display")
+            .unwrap()
+            .method("registerCallback")
+            .unwrap();
         assert!(!display.is_vulnerable(), "sound per-process cap holds");
-        assert!(display.jgr.retains_unbounded(), "but it is risky statically");
+        assert!(
+            display.jgr.retains_unbounded(),
+            "but it is risky statically"
+        );
     }
 
     #[test]

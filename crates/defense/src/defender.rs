@@ -145,7 +145,12 @@ impl JgreDefender {
     /// Runs one scoring pass against the victim's current recording
     /// without killing anything (used by the Figure 8/9 experiments).
     /// Returns `None` when nothing is recorded for the victim.
-    pub fn score_only(&self, system: &System, victim: Pid, delta: SimDuration) -> Option<ScoreReport> {
+    pub fn score_only(
+        &self,
+        system: &System,
+        victim: Pid,
+        delta: SimDuration,
+    ) -> Option<ScoreReport> {
         let adds = self.monitor.add_times(victim);
         if adds.is_empty() {
             return None;
@@ -317,7 +322,12 @@ mod tests {
         let evil = system.install_app("com.evil", []);
         let d = loop {
             system
-                .call_service(evil, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
             if let Some(d) = defender.poll(&mut system) {
                 break d;
@@ -334,7 +344,12 @@ mod tests {
         let app = system.install_app("com.quiet", []);
         for _ in 0..20 {
             system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         assert!(defender.poll(&mut system).is_none());
@@ -347,7 +362,12 @@ mod tests {
         let mut detection = None;
         for _ in 0..4_000 {
             let o = system
-                .call_service(evil, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
             assert!(!o.host_aborted, "defense must fire before exhaustion");
             if let Some(d) = defender.poll(&mut system) {
@@ -437,7 +457,11 @@ mod tests {
             }
         }
         let d = detection.expect("alarm");
-        assert!(d.rounds > 1, "12 ms Delay exceeds the first window, got {} round(s)", d.rounds);
+        assert!(
+            d.rounds > 1,
+            "12 ms Delay exceeds the first window, got {} round(s)",
+            d.rounds
+        );
         assert_eq!(d.killed, vec![evil]);
         // A fast interface on the same configuration resolves in round 1
         // and therefore faster.
@@ -445,7 +469,12 @@ mod tests {
         let mut fast = None;
         for _ in 0..16_000 {
             system
-                .call_service(evil2, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    evil2,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
             if let Some(d) = defender.poll(&mut system) {
                 fast = Some(d);

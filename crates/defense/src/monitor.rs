@@ -3,7 +3,6 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 
-
 use jgre_art::{JgrEvent, JgrEventKind, JgrObserver};
 use jgre_sim::{Pid, SimTime};
 

@@ -65,12 +65,9 @@ impl CallCountDefense {
     /// until the victim's table is back to normal.
     pub fn poll(&self, system: &mut System) -> Option<CallCountDetection> {
         let victim = self.monitor.alarmed_pids().into_iter().next()?;
-        let since = match self.monitor.recording_since(victim) {
-            Some(t) => t,
-            None => {
-                self.monitor.reset(victim);
-                return None;
-            }
+        let Some(since) = self.monitor.recording_since(victim) else {
+            self.monitor.reset(victim);
+            return None;
         };
         let horizon = SimTime::from_micros(since.as_micros().saturating_sub(50_000));
         let mut counts: std::collections::BTreeMap<Uid, u64> = Default::default();
@@ -133,7 +130,12 @@ mod tests {
                     .expect("innocent method exists");
             }
             system
-                .call_service(evil, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .expect("clipboard registered");
             if let Some(d) = defense.poll(&mut system) {
                 detection = Some(d);

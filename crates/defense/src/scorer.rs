@@ -283,7 +283,13 @@ mod tests {
                 .find(|s| s.uid == n.uid)
                 .map(|s| s.score)
                 .unwrap_or(0);
-            assert!(w_score >= n.score, "uid {} narrowed {} -> {}", n.uid, n.score, w.score);
+            assert!(
+                w_score >= n.score,
+                "uid {} narrowed {} -> {}",
+                n.uid,
+                n.score,
+                w.score
+            );
         }
     }
 

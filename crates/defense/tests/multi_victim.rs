@@ -55,7 +55,13 @@ fn defender_resolves_alarms_on_two_victims() {
     ];
     let mut detections = Vec::new();
     for _ in 0..20_000 {
-        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(300), 29, true);
+        run_interleaved(
+            &mut system,
+            actors.clone(),
+            SimDuration::from_millis(300),
+            29,
+            true,
+        );
         while let Some(d) = defender.poll(&mut system) {
             detections.push(d);
         }

@@ -57,7 +57,13 @@ fn run_scenario(classify_paths: bool, paths: u8) -> (u64, u64) {
         },
     ];
     for _ in 0..10_000 {
-        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(500), 17, true);
+        run_interleaved(
+            &mut system,
+            actors.clone(),
+            SimDuration::from_millis(500),
+            17,
+            true,
+        );
         if !defender.monitor().alarmed_pids().is_empty() {
             break;
         }
@@ -116,7 +122,13 @@ fn classified_defender_kills_the_multipath_attacker() {
     }];
     let mut detection = None;
     for _ in 0..10_000 {
-        run_interleaved(&mut system, actors.clone(), SimDuration::from_millis(500), 23, true);
+        run_interleaved(
+            &mut system,
+            actors.clone(),
+            SimDuration::from_millis(500),
+            23,
+            true,
+        );
         if let Some(d) = defender.poll(&mut system) {
             detection = Some(d);
             break;

@@ -17,8 +17,7 @@ fn workload_strategy() -> impl Strategy<Value = (IpcByUid, Vec<SimTime>)> {
     (apps, adds).prop_map(|(apps, adds)| {
         let mut ipc: IpcByUid = BTreeMap::new();
         for (app, ty, times) in apps {
-            let mut times: Vec<SimTime> =
-                times.into_iter().map(SimTime::from_micros).collect();
+            let mut times: Vec<SimTime> = times.into_iter().map(SimTime::from_micros).collect();
             times.sort_unstable();
             ipc.entry(Uid::new(10_000 + app))
                 .or_default()

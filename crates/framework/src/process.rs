@@ -85,8 +85,13 @@ impl ProcessTable {
     pub fn kill(&mut self, pid: Pid) -> Option<Process> {
         let removed = self.processes.remove(&pid);
         if let Some(p) = &removed {
-            self.trace
-                .record(self.clock.now(), Some(pid), Some(p.uid), "proc.kill", &*p.name);
+            self.trace.record(
+                self.clock.now(),
+                Some(pid),
+                Some(p.uid),
+                "proc.kill",
+                &*p.name,
+            );
         }
         removed
     }
@@ -164,12 +169,8 @@ mod tests {
         assert!(t.is_healthy(a));
         // Force an abort by overflowing a tiny runtime substituted in.
         let p = t.get_mut(a).unwrap();
-        p.runtime = jgre_art::Runtime::with_global_capacity(
-            a,
-            SimClock::new(),
-            TraceSink::disabled(),
-            1,
-        );
+        p.runtime =
+            jgre_art::Runtime::with_global_capacity(a, SimClock::new(), TraceSink::disabled(), 1);
         let o1 = p.runtime.alloc("x");
         p.runtime.add_global(o1).unwrap();
         let o2 = p.runtime.alloc("x");

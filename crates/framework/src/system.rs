@@ -4,7 +4,9 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
 use jgre_art::{ArtError, JgrObserver};
-use jgre_binder::{materialize_strong_binder, BinderDriver, Parcel, ReceivedBinder, ServiceManager};
+use jgre_binder::{
+    materialize_strong_binder, BinderDriver, Parcel, ReceivedBinder, ServiceManager,
+};
 use jgre_corpus::spec::{
     AospSpec, Flaw, JgrBehavior, MethodSpec, Permission, Protection, ProtectionLevel,
 };
@@ -12,13 +14,12 @@ use jgre_sim::{Pid, SimClock, SimDuration, SimRng, SimTime, Tid, TraceSink, Uid}
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    select_lmk_victim, FrameworkError, LmkCandidate, LmkConfig, ProcessTable, STOCK_PROCESS_COUNT,
-    OOM_SCORE_BACKGROUND, OOM_SCORE_FOREGROUND,
+    select_lmk_victim, FrameworkError, LmkCandidate, LmkConfig, ProcessTable, OOM_SCORE_BACKGROUND,
+    OOM_SCORE_FOREGROUND, STOCK_PROCESS_COUNT,
 };
 
 /// Knobs for building a [`System`].
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SystemConfig {
     /// Experiment seed (drives jitter and workload randomness).
     pub seed: u64,
@@ -36,7 +37,6 @@ pub struct SystemConfig {
     /// attack-attributable counts leave this at 0.
     pub stock_jgr: usize,
 }
-
 
 /// How a call is issued.
 #[derive(Debug, Clone, Default)]
@@ -292,7 +292,9 @@ impl System {
         for (i, app) in apps.iter().enumerate() {
             // Prebuilt system apps live below FIRST_APPLICATION_UID.
             let uid = Uid::new(1_100 + i as u32);
-            let pid = self.processes.spawn(uid, &app.package, OOM_SCORE_FOREGROUND);
+            let pid = self
+                .processes
+                .spawn(uid, &app.package, OOM_SCORE_FOREGROUND);
             if let Some(cap) = self.make_runtime_capacity() {
                 let p = self.processes.get_mut(pid).expect("just spawned");
                 p.runtime = jgre_art::Runtime::with_global_capacity(
@@ -719,7 +721,11 @@ impl System {
         // 4. Helper threshold (client-side; only honoured when the caller
         //    routes through the documented API).
         if options.via_helper {
-            if let Protection::HelperThreshold { helper_class, limit } = &mspec.protection {
+            if let Protection::HelperThreshold {
+                helper_class,
+                limit,
+            } = &mspec.protection
+            {
                 let key = (caller, service.to_owned(), method.to_owned());
                 let count = self.helper_counts.get(&key).copied().unwrap_or(0);
                 if count >= *limit {
@@ -771,8 +777,7 @@ impl System {
             state.total_retained
         };
         if let Protection::PerProcessLimit { limit, flaw } = &mspec.protection {
-            let spoofed =
-                *flaw == Some(Flaw::SystemPackageSpoof) && package == "android";
+            let spoofed = *flaw == Some(Flaw::SystemPackageSpoof) && package == "android";
             if !spoofed {
                 let svc = self.services.get(service).expect("resolved above");
                 let count = svc
@@ -847,15 +852,13 @@ impl System {
                     }
                 }
             }
-            JgrBehavior::Transient => {
-                match self.materialize_transient(host) {
-                    Ok(()) => jgr_created += 1,
-                    Err(ArtError::TableOverflow { .. }) | Err(ArtError::RuntimeAborted) => {
-                        host_aborted = true;
-                    }
-                    Err(e) => return Err(FrameworkError::Art(e)),
+            JgrBehavior::Transient => match self.materialize_transient(host) {
+                Ok(()) => jgr_created += 1,
+                Err(ArtError::TableOverflow { .. }) | Err(ArtError::RuntimeAborted) => {
+                    host_aborted = true;
                 }
-            }
+                Err(e) => return Err(FrameworkError::Art(e)),
+            },
             JgrBehavior::ReplaceSingle => {
                 match self.materialize_replace_single(service, method, caller_pid, host) {
                     Ok(()) => jgr_created += 1,
@@ -918,10 +921,7 @@ impl System {
     /// creates locals for the unmarshalled call arguments, mirroring what
     /// `onTransact` does on entry. Returns `None` for hosts without a
     /// Java runtime state we can touch (dead process).
-    fn enter_handler_frame(
-        &mut self,
-        host: Pid,
-    ) -> Option<(jgre_art::EnvId, jgre_art::IrtCookie)> {
+    fn enter_handler_frame(&mut self, host: Pid) -> Option<(jgre_art::EnvId, jgre_art::IrtCookie)> {
         let p = self.processes.get_mut(host)?;
         // One Binder thread per host process is enough for a sequential
         // simulation; its tid mirrors the host pid.
@@ -940,7 +940,11 @@ impl System {
     /// Pops the handler's local frame; the locals' objects become garbage
     /// (collected at the next GC), like any local reference after the
     /// native method returns.
-    fn exit_handler_frame(&mut self, host: Pid, frame: Option<(jgre_art::EnvId, jgre_art::IrtCookie)>) {
+    fn exit_handler_frame(
+        &mut self,
+        host: Pid,
+        frame: Option<(jgre_art::EnvId, jgre_art::IrtCookie)>,
+    ) {
         let Some((env, cookie)) = frame else { return };
         if let Some(p) = self.processes.get_mut(host) {
             let _ = p.runtime.pop_local_frame(env, cookie);
@@ -955,7 +959,10 @@ impl System {
         host: Pid,
         node: jgre_binder::NodeId,
     ) -> Result<(), ArtError> {
-        let p = self.processes.get_mut(host).ok_or(ArtError::RuntimeAborted)?;
+        let p = self
+            .processes
+            .get_mut(host)
+            .ok_or(ArtError::RuntimeAborted)?;
         let rb = materialize_strong_binder(&mut p.runtime, node)?;
         p.runtime.retain(rb.proxy)?;
         let svc = self.services.get_mut(service).expect("resolved by caller");
@@ -966,7 +973,10 @@ impl System {
     }
 
     fn materialize_transient(&mut self, host: Pid) -> Result<(), ArtError> {
-        let p = self.processes.get_mut(host).ok_or(ArtError::RuntimeAborted)?;
+        let p = self
+            .processes
+            .get_mut(host)
+            .ok_or(ArtError::RuntimeAborted)?;
         let node = jgre_binder::NodeId::new(0);
         // Not retained: the next GC's finalizer releases the reference.
         materialize_strong_binder(&mut p.runtime, node).map(|_| ())
@@ -979,7 +989,10 @@ impl System {
         caller_pid: Pid,
         host: Pid,
     ) -> Result<(), ArtError> {
-        let p = self.processes.get_mut(host).ok_or(ArtError::RuntimeAborted)?;
+        let p = self
+            .processes
+            .get_mut(host)
+            .ok_or(ArtError::RuntimeAborted)?;
         let node = jgre_binder::NodeId::new(0);
         let rb = materialize_strong_binder(&mut p.runtime, node)?;
         p.runtime.retain(rb.proxy)?;
@@ -1225,13 +1238,21 @@ mod tests {
         let app = system.install_app("com.example", []);
         for _ in 0..25 {
             system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         let ss = system.system_server_pid();
         system.gc_process(ss);
         assert_eq!(system.system_server_jgr_count(), 25);
-        assert_eq!(system.retained_entries("clipboard", "addPrimaryClipChangedListener"), 25);
+        assert_eq!(
+            system.retained_entries("clipboard", "addPrimaryClipChangedListener"),
+            25
+        );
     }
 
     #[test]
@@ -1332,7 +1353,12 @@ mod tests {
         let mut aborted = false;
         for _ in 0..300 {
             let o = system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
             if o.host_aborted {
                 aborted = true;
@@ -1346,7 +1372,12 @@ mod tests {
         assert!(system.service_info("clipboard").is_some());
         // And can be attacked again.
         let o = system
-            .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                app,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
         assert!(o.status.is_completed());
     }
@@ -1384,12 +1415,22 @@ mod tests {
         let benign = system.install_app("com.benign", []);
         for _ in 0..40 {
             system
-                .call_service(evil, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         for _ in 0..5 {
             system
-                .call_service(benign, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    benign,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         assert_eq!(system.system_server_jgr_count(), 45);
@@ -1411,9 +1452,7 @@ mod tests {
             system.launch_app(uid).unwrap();
         }
         assert!(system.running_app_count() <= LmkConfig::default().max_user_apps);
-        assert!(
-            system.process_count() <= STOCK_PROCESS_COUNT + LmkConfig::default().max_user_apps
-        );
+        assert!(system.process_count() <= STOCK_PROCESS_COUNT + LmkConfig::default().max_user_apps);
     }
 
     #[test]
@@ -1423,11 +1462,21 @@ mod tests {
         let b = system.install_app("com.b", []);
         for _ in 0..2 {
             system
-                .call_service(a, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    a,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         system
-            .call_service(b, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                b,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
         assert_eq!(
             system
@@ -1463,7 +1512,12 @@ mod tests {
         let app = system.install_app("com.gone", []);
         for _ in 0..9 {
             system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         system.uninstall_app(app);
@@ -1481,12 +1535,20 @@ mod tests {
         let app = system.install_app("com.dumped", []);
         for _ in 0..7 {
             system
-                .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         let dump = system.dumpsys("clipboard").expect("clipboard registered");
         assert!(dump.contains("SERVICE clipboard (IClipboard)"), "{dump}");
-        assert!(dump.contains("addPrimaryClipChangedListener: 7 calls, 7 retained"), "{dump}");
+        assert!(
+            dump.contains("addPrimaryClipChangedListener: 7 calls, 7 retained"),
+            "{dump}"
+        );
         assert!(dump.contains("com.dumped"), "{dump}");
         assert!(system.dumpsys("no-such-service").is_none());
     }
@@ -1496,15 +1558,30 @@ mod tests {
         let mut system = System::boot(0);
         let app = system.install_app("com.example", [Permission::ReadPhoneState]);
         let first = system
-            .call_service(app, "telephony.registry", "listenForSubscriber", CallOptions::default())
+            .call_service(
+                app,
+                "telephony.registry",
+                "listenForSubscriber",
+                CallOptions::default(),
+            )
             .unwrap();
         for _ in 0..2_000 {
             system
-                .call_service(app, "telephony.registry", "listenForSubscriber", CallOptions::default())
+                .call_service(
+                    app,
+                    "telephony.registry",
+                    "listenForSubscriber",
+                    CallOptions::default(),
+                )
                 .unwrap();
         }
         let late = system
-            .call_service(app, "telephony.registry", "listenForSubscriber", CallOptions::default())
+            .call_service(
+                app,
+                "telephony.registry",
+                "listenForSubscriber",
+                CallOptions::default(),
+            )
             .unwrap();
         assert!(
             late.exec_time.as_micros() > first.exec_time.as_micros(),

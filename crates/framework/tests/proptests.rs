@@ -9,7 +9,11 @@ use proptest::prelude::*;
 #[derive(Debug, Clone)]
 enum Op {
     /// Call interface `iface % catalog` from app `app % apps`.
-    Call { app: usize, iface: usize, spoof: bool },
+    Call {
+        app: usize,
+        iface: usize,
+        spoof: bool,
+    },
     /// Kill app `app % apps`.
     Kill { app: usize },
     /// GC system_server.
@@ -125,9 +129,8 @@ proptest! {
             .vulnerable_service_interfaces()
             .filter(|(_, m)| m.permission.is_none() && matches!(m.protection, Protection::None))
             .map(|(s, m)| {
-                let g = match m.jgr {
-                    JgrBehavior::RetainPerCall { grefs_per_call } => grefs_per_call,
-                    _ => unreachable!("vulnerable methods retain"),
+                let JgrBehavior::RetainPerCall { grefs_per_call: g } = m.jgr else {
+                    unreachable!("vulnerable methods retain")
                 };
                 (s.name.clone(), m.name.clone(), g)
             })

@@ -47,10 +47,7 @@ fn main() {
             );
         }
         if outcome.host_aborted {
-            println!(
-                "  {:>7} calls: global reference table overflow — system_server aborted",
-                calls
-            );
+            println!("  {calls:>7} calls: global reference table overflow — system_server aborted");
             break;
         }
     }

@@ -29,7 +29,10 @@ fn main() {
         .expect("the wifi lock is risky");
     println!(
         "finding: {}.{} (binder params: {}, via Handler edge: {})\n",
-        finding.ipc.service, finding.ipc.method, finding.via_binder_params, finding.via_handler_edge
+        finding.ipc.service,
+        finding.ipc.method,
+        finding.via_binder_params,
+        finding.via_handler_edge
     );
 
     // 2. The generated verification app.

@@ -33,6 +33,9 @@ COMMANDS:
   response     §V-D.1 — detection delays for all 57 interfaces
   defend       §V-C  — drive all 57 attacks against the defender
   all          run everything above in order
+  lint         dataflow leak analysis as SARIF 2.1.0, each finding backed
+               by a checkable IPC-entry-to-IRT::Add witness path
+               (--json prints the raw lint report instead)
 
 OPTIONS:
   --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
@@ -129,6 +132,17 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
         "defend" => {
             let r = experiments::defense_effectiveness(scale);
             emit(options, &r, r.render());
+        }
+        "lint" => {
+            let spec = jgre_corpus::AospSpec::android_6_0_1();
+            let model = jgre_corpus::CodeModel::synthesize(&spec);
+            let report = jgre_analysis::LintReport::generate(&model, &spec);
+            let rendered = if options.json {
+                serde_json::to_string_pretty(&report).expect("lint report serialises")
+            } else {
+                serde_json::to_string_pretty(&report.to_sarif(&model)).expect("SARIF serialises")
+            };
+            println!("{rendered}");
         }
         "all" => {
             for cmd in [

@@ -1,9 +1,9 @@
 //! Umbrella crate for the JGRE reproduction; re-exports the public API.
-pub use jgre_core as core;
 pub use jgre_analysis as analysis;
 pub use jgre_art as art;
 pub use jgre_attack as attack;
 pub use jgre_binder as binder;
+pub use jgre_core as core;
 pub use jgre_corpus as corpus;
 pub use jgre_defense as defense;
 pub use jgre_framework as framework;

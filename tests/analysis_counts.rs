@@ -10,7 +10,10 @@ fn headline_statistics_match_the_paper() {
     assert_eq!(h.native_services, 5, "5 native services");
     assert_eq!(h.vulnerable_interfaces, 54, "54 vulnerable IPC interfaces");
     assert_eq!(h.vulnerable_services, 32, "32 vulnerable system services");
-    assert_eq!(h.zero_permission_services, 22, "22 zero-permission services");
+    assert_eq!(
+        h.zero_permission_services, 22,
+        "22 zero-permission services"
+    );
     assert_eq!(h.prebuilt_interfaces, 3, "3 interfaces in prebuilt apps");
     assert_eq!(h.third_party_apps, 3, "3 of 1000 Play apps");
     assert_eq!(h.native_paths_total, 147, "147 native paths");

@@ -9,20 +9,146 @@ fn jgre() -> Command {
 #[test]
 fn headline_renders_the_counts() {
     let out = jgre().arg("headline").output().expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("54 in 32 system services"), "{stdout}");
-    assert!(stdout.contains("147 total, 67 init-only filtered"), "{stdout}");
+    assert!(
+        stdout.contains("147 total, 67 init-only filtered"),
+        "{stdout}"
+    );
 }
 
 #[test]
 fn json_output_is_machine_readable() {
-    let out = jgre().args(["table4", "--json"]).output().expect("binary runs");
+    let out = jgre()
+        .args(["table4", "--json"])
+        .output()
+        .expect("binary runs");
     assert!(out.status.success());
     let parsed: serde_json::Value =
         serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
     assert_eq!(parsed["rows"].as_array().map(|r| r.len()), Some(3));
     assert_eq!(parsed["apps_scanned"], 88);
+}
+
+#[test]
+fn lint_emits_sarif_with_witnessed_findings() {
+    let out = jgre().arg("lint").output().expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let sarif: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(sarif["version"].as_str(), Some("2.1.0"));
+
+    let run = &sarif["runs"].as_array().expect("one run")[0];
+    assert_eq!(run["tool"]["driver"]["name"].as_str(), Some("jgre-lint"));
+    let rule_ids: Vec<&str> = run["tool"]["driver"]["rules"]
+        .as_array()
+        .expect("rules array")
+        .iter()
+        .filter_map(|r| r["id"].as_str())
+        .collect();
+    assert_eq!(rule_ids, ["JGRE001", "JGRE002", "JGRE003"]);
+
+    // 63 risky interfaces (60 unbounded + 3 bounded) plus the
+    // signature-gated notes.
+    let results = run["results"].as_array().expect("results array");
+    let count = |id: &str| {
+        results
+            .iter()
+            .filter(|r| r["ruleId"].as_str() == Some(id))
+            .count()
+    };
+    assert_eq!(count("JGRE001"), 60);
+    assert_eq!(count("JGRE003"), 3);
+    assert!(count("JGRE002") >= 2);
+
+    // Every finding carries at least one code flow ending at the sink.
+    for result in results {
+        let flows = result["codeFlows"].as_array().expect("codeFlows");
+        assert!(!flows.is_empty());
+        let steps = flows[0]["threadFlows"].as_array().expect("threadFlows")[0]["locations"]
+            .as_array()
+            .expect("locations");
+        let first = steps[0]["location"]["message"]["text"].as_str().unwrap();
+        let last = steps[steps.len() - 1]["location"]["message"]["text"]
+            .as_str()
+            .unwrap();
+        assert!(first.starts_with("IPC entry "), "{first}");
+        assert!(last.contains("inserts the JGR"), "{last}");
+    }
+}
+
+#[test]
+fn lint_sarif_snapshot_of_a_representative_finding() {
+    // Model synthesis and result ordering are deterministic, so the first
+    // finding is a stable snapshot of the whole SARIF shape.
+    let out = jgre().arg("lint").output().expect("binary runs");
+    let sarif: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let result = &sarif["runs"].as_array().unwrap()[0]["results"]
+        .as_array()
+        .unwrap()[0];
+    assert_eq!(result["ruleId"].as_str(), Some("JGRE001"));
+    assert_eq!(result["level"].as_str(), Some("error"));
+    assert_eq!(
+        result["message"]["text"].as_str(),
+        Some(
+            "accessibility.addAccessibilityInteractionConnection retains a JNI \
+             global reference per call without bound (2 allocation sites)"
+        )
+    );
+    assert_eq!(
+        result["locations"].as_array().unwrap()[0]["logicalLocations"]
+            .as_array()
+            .unwrap()[0]["fullyQualifiedName"]
+            .as_str(),
+        Some("accessibility.addAccessibilityInteractionConnection")
+    );
+    let steps: Vec<&str> = result["codeFlows"].as_array().unwrap()[0]["threadFlows"]
+        .as_array()
+        .unwrap()[0]["locations"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|l| l["location"]["message"]["text"].as_str().unwrap())
+        .collect();
+    assert_eq!(
+        steps,
+        [
+            "IPC entry com.android.server.AccessibilityService.addAccessibilityInteractionConnection",
+            "com.android.server.AccessibilityService.addAccessibilityInteractionConnection calls \
+             com.android.server.AccessibilityService.addAccessibilityInteractionConnectionInternal",
+            "com.android.server.AccessibilityService.addAccessibilityInteractionConnectionInternal \
+             calls android.os.RemoteCallbackList.register",
+            "android.os.RemoteCallbackList.register calls android.os.Binder.linkToDeath",
+            "android.os.Binder.linkToDeath calls android.os.Binder.linkToDeathNative",
+            "JNI bridge android.os.Binder.linkToDeathNative -> android_os_BinderProxy_linkToDeath",
+            "android_os_BinderProxy_linkToDeath calls JavaDeathRecipient::JavaDeathRecipient",
+            "JavaDeathRecipient::JavaDeathRecipient calls art::IndirectReferenceTable::Add",
+            "art::IndirectReferenceTable::Add inserts the JGR",
+        ]
+    );
+}
+
+#[test]
+fn lint_json_prints_the_raw_report() {
+    let out = jgre()
+        .args(["lint", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    assert_eq!(report["accuracy"]["true_positives"], 54);
+    assert_eq!(report["accuracy"]["false_positives"], 3);
+    assert_eq!(report["accuracy"]["false_negatives"], 0);
+    assert!(report["diagnostics"].as_array().is_some());
 }
 
 #[test]

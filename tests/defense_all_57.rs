@@ -20,8 +20,7 @@ fn all_57_attacks_are_stopped() {
     for r in &e.runs {
         let d = r.detection.as_ref().expect("defended runs detected");
         assert!(
-            d.victim_jgr_after.expect("victim survived")
-                < ExperimentScale::quick().normal_level,
+            d.victim_jgr_after.expect("victim survived") < ExperimentScale::quick().normal_level,
             "{} recovered to {:?}",
             r.interface,
             d.victim_jgr_after
@@ -47,8 +46,7 @@ fn response_delays_never_approach_exhaustion_time() {
     assert_eq!(r.rows.len(), 57);
     // §V-D.1's punchline: the slowest detection is far below the fastest
     // exhaustion, so the attack cannot outrun the defense.
-    let fastest_exhaustion_us =
-        experiments::fig3(ExperimentScale::quick()).fastest_secs() * 1e6;
+    let fastest_exhaustion_us = experiments::fig3(ExperimentScale::quick()).fastest_secs() * 1e6;
     for row in &r.rows {
         assert!(
             (row.response_delay_us as f64) < fastest_exhaustion_us / 2.0,

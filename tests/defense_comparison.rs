@@ -46,7 +46,12 @@ fn step(s: &mut Scenario) {
             .advance(jgre_repro::core::sim::SimDuration::from_millis(gap_ms));
     }
     s.system
-        .call_service(s.evil, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .call_service(
+            s.evil,
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            CallOptions::default(),
+        )
         .expect("clipboard registered");
 }
 

@@ -20,7 +20,12 @@ fn clipboard_attack_soft_reboots_and_device_recovers() {
     let mut calls = 0;
     loop {
         let o = system
-            .call_service(mal, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                mal,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
         calls += 1;
         if o.host_aborted {
@@ -43,7 +48,12 @@ fn prebuilt_app_attack_kills_only_the_app() {
     let mut system = small_system(2);
     let mal = system.install_app("com.evil", []);
     loop {
-        match system.call_service(mal, "bluetooth_gatt", "registerServer", CallOptions::default()) {
+        match system.call_service(
+            mal,
+            "bluetooth_gatt",
+            "registerServer",
+            CallOptions::default(),
+        ) {
             Ok(o) if o.host_aborted => break,
             Ok(_) => {}
             Err(e) => panic!("{e}"),
@@ -52,7 +62,12 @@ fn prebuilt_app_attack_kills_only_the_app() {
     assert_eq!(system.soft_reboots(), 0, "system_server unaffected");
     // Other services still fine.
     let o = system
-        .call_service(mal, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .call_service(
+            mal,
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            CallOptions::default(),
+        )
         .unwrap();
     assert!(o.status.is_completed());
 }
@@ -80,7 +95,12 @@ fn kill_releases_exactly_the_attackers_entries() {
     let b = system.install_app("com.b", []);
     for _ in 0..30 {
         system
-            .call_service(a, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                a,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
     }
     for _ in 0..10 {

@@ -20,7 +20,12 @@ fn attack_leaves_a_complete_trace() {
     let app = system.install_app("com.traced", []);
     loop {
         let o = system
-            .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                app,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
         if o.host_aborted {
             break;
@@ -34,13 +39,19 @@ fn attack_leaves_a_complete_trace() {
     assert_eq!(aborts.len(), 1);
     let abort = &aborts[0];
     assert!(
-        abort.detail.contains("global reference table overflow (max=400)"),
+        abort
+            .detail
+            .contains("global reference table overflow (max=400)"),
         "{}",
         abort.detail
     );
     // The abort message carries ART's class summary; the attack pinned
     // BpBinder peers through BinderProxy finalizers.
-    assert!(abort.detail.contains("android::BpBinder"), "{}", abort.detail);
+    assert!(
+        abort.detail.contains("android::BpBinder"),
+        "{}",
+        abort.detail
+    );
     let reboots = trace.of_kind("system.soft_reboot");
     assert_eq!(reboots.len(), 1);
     assert!(reboots[0].detail.contains("reboot #1"));
@@ -56,7 +67,12 @@ fn gc_and_kill_are_traced() {
     let app = system.install_app("com.traced", []);
     for _ in 0..5 {
         system
-            .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+            .call_service(
+                app,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
             .unwrap();
     }
     system.kill_app(app);
@@ -81,7 +97,12 @@ fn tracing_off_keeps_the_sink_empty() {
     });
     let app = system.install_app("com.silent", []);
     system
-        .call_service(app, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .call_service(
+            app,
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            CallOptions::default(),
+        )
         .unwrap();
     assert!(system.trace().is_empty());
 }

@@ -4,8 +4,8 @@
 
 use jgre_repro::core::attack::{run_exhaustion_attack, AttackVector};
 use jgre_repro::core::corpus::spec::AospSpec;
-use jgre_repro::core::{experiments, ExperimentScale};
 use jgre_repro::core::framework::{System, SystemConfig};
+use jgre_repro::core::{experiments, ExperimentScale};
 
 fn scale(capacity: usize) -> ExperimentScale {
     ExperimentScale {
@@ -37,7 +37,11 @@ fn exhaustion_extremes_hold_across_scales() {
                 ..SystemConfig::default()
             });
             let r = run_exhaustion_attack(&mut system, vector, capacity as u64 * 4, 1_000);
-            assert!(r.aborted, "cap {capacity}: {} did not exhaust", vector.service);
+            assert!(
+                r.aborted,
+                "cap {capacity}: {} did not exhaust",
+                vector.service
+            );
             r.time_to_exhaustion.unwrap()
         };
         let fast = run(&audio);
@@ -56,7 +60,13 @@ fn defense_works_at_multiple_scales() {
         // A representative sample of vectors (zero-perm, dangerous-perm,
         // spoofed, multi-ref, prebuilt).
         let spec = AospSpec::android_6_0_1();
-        let picks = ["clipboard", "telephony.registry", "notification", "midi", "pico_tts"];
+        let picks = [
+            "clipboard",
+            "telephony.registry",
+            "notification",
+            "midi",
+            "pico_tts",
+        ];
         for pick in picks {
             let vector = AttackVector::all_vectors(&spec)
                 .into_iter()

@@ -22,8 +22,7 @@ fn one_device_survives_a_full_attack_campaign() {
         let mal = system.install_app(format!("com.wave{i}"), vector.permissions.clone());
         let mut detected = false;
         for _ in 0..(scale.jgr_capacity as u64 * 4) {
-            match system.call_service(mal, &vector.service, &vector.method, vector.call_options())
-            {
+            match system.call_service(mal, &vector.service, &vector.method, vector.call_options()) {
                 Ok(o) => assert!(
                     !o.host_aborted,
                     "wave {i} ({}) aborted the victim",
@@ -41,7 +40,11 @@ fn one_device_survives_a_full_attack_campaign() {
                 break;
             }
         }
-        assert!(detected, "wave {i} ({}.{}) was never detected", vector.service, vector.method);
+        assert!(
+            detected,
+            "wave {i} ({}.{}) was never detected",
+            vector.service, vector.method
+        );
         max_log = max_log.max(system.driver().log().len());
         // Recovery left the table near the stock floor.
         let jgr = system.system_server_jgr_count();
@@ -86,6 +89,11 @@ fn defender_tolerates_a_victim_dying_before_recovery() {
     // The rest of the device still works.
     let benign = system.install_app("com.fine", []);
     system
-        .call_service(benign, "clipboard", "addPrimaryClipChangedListener", CallOptions::default())
+        .call_service(
+            benign,
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            CallOptions::default(),
+        )
         .expect("system services unaffected");
 }

@@ -10,7 +10,11 @@ use jgre_repro::core::{experiments, ExperimentScale};
 /// `bindBluetoothProfileService` row is disambiguated with a `2` suffix,
 /// as documented in the catalog).
 const TABLE_1: &[(&str, &str, &str)] = &[
-    ("location", "addGpsStatusListener", "android.permission.ACCESS_FINE_LOCATION"),
+    (
+        "location",
+        "addGpsStatusListener",
+        "android.permission.ACCESS_FINE_LOCATION",
+    ),
     ("sip", "open3", "android.permission.USE_SIP"),
     ("sip", "createSession", "android.permission.USE_SIP"),
     ("midi", "registerListener", ""),
@@ -23,7 +27,11 @@ const TABLE_1: &[(&str, &str, &str)] = &[
     ("appops", "startWatchingMode", ""),
     ("appops", "getToken", ""),
     ("bluetooth_manager", "registerAdapter", ""),
-    ("bluetooth_manager", "registerStateChangeCallback", "android.permission.BLUETOOTH"),
+    (
+        "bluetooth_manager",
+        "registerStateChangeCallback",
+        "android.permission.BLUETOOTH",
+    ),
     ("bluetooth_manager", "bindBluetoothProfileService", ""),
     ("bluetooth_manager", "bindBluetoothProfileService2", ""),
     ("audio", "registerRemoteController", ""),
@@ -35,10 +43,26 @@ const TABLE_1: &[(&str, &str, &str)] = &[
     ("print", "print", ""),
     ("print", "addPrintJobStateChangeListener", ""),
     ("print", "createPrinterDiscoverySession", ""),
-    ("package", "getPackageSizeInfo", "android.permission.GET_PACKAGE_SIZE"),
-    ("telephony.registry", "addOnSubscriptionsChangedListener", "android.permission.READ_PHONE_STATE"),
-    ("telephony.registry", "listen", "android.permission.READ_PHONE_STATE"),
-    ("telephony.registry", "listenForSubscriber", "android.permission.READ_PHONE_STATE"),
+    (
+        "package",
+        "getPackageSizeInfo",
+        "android.permission.GET_PACKAGE_SIZE",
+    ),
+    (
+        "telephony.registry",
+        "addOnSubscriptionsChangedListener",
+        "android.permission.READ_PHONE_STATE",
+    ),
+    (
+        "telephony.registry",
+        "listen",
+        "android.permission.READ_PHONE_STATE",
+    ),
+    (
+        "telephony.registry",
+        "listenForSubscriber",
+        "android.permission.READ_PHONE_STATE",
+    ),
     ("media_session", "registerCallbackListener", ""),
     ("media_session", "createSession", ""),
     ("media_router", "registerClientAsUser", ""),
@@ -48,9 +72,21 @@ const TABLE_1: &[(&str, &str, &str)] = &[
     ("wallpaper", "getWallpaper", ""),
     ("fingerprint", "addLockoutResetCallback", ""),
     ("textservices", "getSpellCheckerService", ""),
-    ("network_management", "registerNetworkActivityListener", "android.permission.CHANGE_NETWORK_STATE"),
-    ("connectivity", "requestNetwork", "android.permission.CHANGE_NETWORK_STATE"),
-    ("connectivity", "listenForNetwork", "android.permission.ACCESS_NETWORK_STATE"),
+    (
+        "network_management",
+        "registerNetworkActivityListener",
+        "android.permission.CHANGE_NETWORK_STATE",
+    ),
+    (
+        "connectivity",
+        "requestNetwork",
+        "android.permission.CHANGE_NETWORK_STATE",
+    ),
+    (
+        "connectivity",
+        "listenForNetwork",
+        "android.permission.ACCESS_NETWORK_STATE",
+    ),
     ("activity", "registerTaskStackListener", ""),
     ("activity", "registerReceiver", ""),
     ("activity", "bindService", ""),
