@@ -1,0 +1,613 @@
+//! On-disk summary cache for the incremental leak-check engine.
+//!
+//! One file (`summaries.bin`) holds two tiers:
+//!
+//! * **Tier A** — the whole-corpus summary table, keyed by the corpus
+//!   fingerprint in the header. A warm re-lint of an unchanged tree
+//!   decodes this tier directly (raw `MethodId`s, no string remapping,
+//!   no call-graph condensation) — the fast path the ≥10x target rests
+//!   on.
+//! * **Tier B** — one record per call-graph SCC, keyed by the SCC key
+//!   (member fact fingerprints + external callee summary fingerprints).
+//!   Records reference methods by `(class, name)` so they survive
+//!   `MethodId` renumbering; an edit invalidates exactly the
+//!   condensation cone above it.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic  b"JGRESUMC"                              8 bytes
+//! version u32                                     = SCHEMA_VERSION
+//! corpus_fp u64                                   Tier A key
+//! scc_count u32                                   SCCs behind Tier A
+//! tier_a_len u32
+//! tier_a_payload [u8; tier_a_len]
+//! tier_a_checksum u64                             StableHasher of the payload
+//! repeated until EOF:
+//!   key u64 | len u32 | payload [u8; len] | checksum u64
+//! ```
+//!
+//! Every reader treats the file as untrusted input: a bad magic or
+//! version rejects the whole file, a bad Tier A checksum stops parsing
+//! (the framing can no longer be trusted), a truncated or corrupt Tier B
+//! record is skipped — each rejection increments the `invalidated`
+//! counter and the engine recomputes, never panics.
+//!
+//! **Schema-version bump rule:** any change to the payload encodings,
+//! the fingerprint recipes they key on, or the summary semantics they
+//! capture must bump [`SCHEMA_VERSION`] so stale files self-invalidate.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use jgre_corpus::body::AllocSite;
+use jgre_corpus::{CodeModel, MethodId};
+
+use crate::ir::StableHasher;
+use crate::leakcheck::{EscapeKind, MethodSummary, Retention, SiteSummary};
+
+/// Bumped whenever the cache encoding or the fingerprints it keys on
+/// change shape; readers reject any other version.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// File name of the summary cache inside `--cache-dir`.
+pub const CACHE_FILE: &str = "summaries.bin";
+
+const MAGIC: &[u8; 8] = b"JGRESUMC";
+const HEADER_LEN: usize = 8 + 4 + 8 + 4 + 4;
+
+fn checksum(bytes: &[u8]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+// ------------------------------------------------------------------
+// Byte-level encoder/decoder
+// ------------------------------------------------------------------
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Cursor over untrusted bytes; every read is bounds-checked.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    fn str_ref(&mut self) -> Option<&'a str> {
+        let len = self.u32()? as usize;
+        std::str::from_utf8(self.take(len)?).ok()
+    }
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ------------------------------------------------------------------
+// Summary payload encodings
+// ------------------------------------------------------------------
+
+fn enc_site_shape(e: &mut Enc, site: AllocSite) {
+    let (tag, idx) = match site {
+        AllocSite::BinderParam(i) => (0u8, i as u32),
+        AllocSite::DeathRecipient => (1, 0),
+        AllocSite::ThreadPeer => (2, 0),
+        AllocSite::ParcelStrongBinder => (3, 0),
+    };
+    e.u8(tag);
+    e.u32(idx);
+}
+
+fn dec_site_shape(d: &mut Dec) -> Option<AllocSite> {
+    let tag = d.u8()?;
+    let idx = d.u32()?;
+    match tag {
+        0 => Some(AllocSite::BinderParam(idx as usize)),
+        1 => Some(AllocSite::DeathRecipient),
+        2 => Some(AllocSite::ThreadPeer),
+        3 => Some(AllocSite::ParcelStrongBinder),
+        _ => None,
+    }
+}
+
+fn enc_fate(e: &mut Enc, fate: Retention, escape: Option<EscapeKind>, read_only_key: bool) {
+    e.u8(match fate {
+        Retention::Released => 0,
+        Retention::Bounded => 1,
+        Retention::Unbounded => 2,
+    });
+    e.u8(match escape {
+        None => 0,
+        Some(EscapeKind::ScalarReplace) => 1,
+        Some(EscapeKind::BoundedCollection) => 2,
+        Some(EscapeKind::UnboundedCollection) => 3,
+    });
+    e.u8(u8::from(read_only_key));
+}
+
+fn dec_fate(d: &mut Dec) -> Option<(Retention, Option<EscapeKind>, bool)> {
+    let fate = match d.u8()? {
+        0 => Retention::Released,
+        1 => Retention::Bounded,
+        2 => Retention::Unbounded,
+        _ => return None,
+    };
+    let escape = match d.u8()? {
+        0 => None,
+        1 => Some(EscapeKind::ScalarReplace),
+        2 => Some(EscapeKind::BoundedCollection),
+        3 => Some(EscapeKind::UnboundedCollection),
+        _ => return None,
+    };
+    let read_only_key = match d.u8()? {
+        0 => false,
+        1 => true,
+        _ => return None,
+    };
+    Some((fate, escape, read_only_key))
+}
+
+/// Encodes the whole-corpus summary table (Tier A): summaries in
+/// `MethodId` order with raw ids — valid only under the corpus
+/// fingerprint it is stored beside.
+pub fn encode_tier_a(summaries: &[MethodSummary]) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u32(summaries.len() as u32);
+    for s in summaries {
+        e.u8(u8::from(s.saw_handler));
+        e.u32(s.sites.len() as u32);
+        for site in &s.sites {
+            e.u32(site.method.0);
+            enc_site_shape(&mut e, site.site);
+            enc_fate(&mut e, site.fate, site.escape, site.read_only_key);
+        }
+    }
+    e.buf
+}
+
+/// Decodes Tier A; `method_count` bounds both the table length and every
+/// site's raw `MethodId`.
+pub fn decode_tier_a(bytes: &[u8], method_count: usize) -> Option<Vec<MethodSummary>> {
+    let mut d = Dec::new(bytes);
+    let n = d.u32()? as usize;
+    if n != method_count {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let saw_handler = d.u8()? != 0;
+        let nsites = d.u32()? as usize;
+        let mut sites = Vec::with_capacity(nsites.min(1024));
+        for _ in 0..nsites {
+            let method = d.u32()? as usize;
+            if method >= method_count {
+                return None;
+            }
+            let site = dec_site_shape(&mut d)?;
+            let (fate, escape, read_only_key) = dec_fate(&mut d)?;
+            sites.push(SiteSummary {
+                method: MethodId(method as u32),
+                site,
+                fate,
+                escape,
+                read_only_key,
+            });
+        }
+        out.push(MethodSummary { sites, saw_handler });
+    }
+    d.done().then_some(out)
+}
+
+fn enc_member(e: &mut Enc, model: &CodeModel, id: MethodId, summary: &MethodSummary) {
+    let def = model.method(id);
+    e.str(&def.class);
+    e.str(&def.name);
+    e.u8(u8::from(summary.saw_handler));
+    e.u32(summary.sites.len() as u32);
+    for site in &summary.sites {
+        let origin = model.method(site.method);
+        e.str(&origin.class);
+        e.str(&origin.name);
+        enc_site_shape(e, site.site);
+        enc_fate(e, site.fate, site.escape, site.read_only_key);
+    }
+}
+
+/// Encodes one SCC's summaries as a portable Tier B record.
+pub fn encode_record(model: &CodeModel, members: &[(MethodId, &MethodSummary)]) -> Vec<u8> {
+    let mut e = Enc::default();
+    e.u32(members.len() as u32);
+    for (id, summary) in members {
+        enc_member(&mut e, model, *id, summary);
+    }
+    e.buf
+}
+
+/// Decodes a Tier B record and remaps its `(class, name)` references
+/// onto the current corpus, in one pass over the bytes without
+/// allocating intermediate strings (the edit path remaps thousands of
+/// hit records, so this is hot). Returns `None` when the record does
+/// not map cleanly onto `scc`: wrong member count, a name the index
+/// cannot resolve, or a member outside the SCC.
+pub fn remap_record(
+    bytes: &[u8],
+    scc: &[MethodId],
+    name_index: &HashMap<(&str, &str), MethodId>,
+) -> Option<Vec<(MethodId, MethodSummary)>> {
+    let mut d = Dec::new(bytes);
+    let n = d.u32()? as usize;
+    if n != scc.len() {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = d.str_ref()?;
+        let name = d.str_ref()?;
+        let id = *name_index.get(&(class, name))?;
+        if scc.binary_search(&id).is_err() {
+            return None;
+        }
+        let saw_handler = d.u8()? != 0;
+        let nsites = d.u32()? as usize;
+        let mut sites = Vec::with_capacity(nsites.min(1024));
+        for _ in 0..nsites {
+            let site_class = d.str_ref()?;
+            let site_name = d.str_ref()?;
+            let method = *name_index.get(&(site_class, site_name))?;
+            let site = dec_site_shape(&mut d)?;
+            let (fate, escape, read_only_key) = dec_fate(&mut d)?;
+            sites.push(SiteSummary {
+                method,
+                site,
+                fate,
+                escape,
+                read_only_key,
+            });
+        }
+        // Recomputed summaries come out of a BTreeMap keyed on
+        // (method, site); restore that canonical order in case the
+        // stored corpus numbered its methods differently.
+        sites.sort_by_key(|a| (a.method, a.site));
+        out.push((id, MethodSummary { sites, saw_handler }));
+    }
+    d.done().then_some(out)
+}
+
+/// Stable fingerprint of one method's *summary* — the "callee summary
+/// fingerprint" half of an SCC key. Mirrors the portable member fields
+/// (names, not `MethodId`s), streamed straight into the hasher: it runs
+/// once per method on every caching run, so no intermediate buffer.
+pub fn summary_fingerprint(model: &CodeModel, id: MethodId, summary: &MethodSummary) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_u64(0x4a47_5245_534d_4631); // "JGRESMF1": summary-recipe tag
+    let def = model.method(id);
+    h.write_str(&def.class);
+    h.write_str(&def.name);
+    h.write_u8(u8::from(summary.saw_handler));
+    h.write_u32(summary.sites.len() as u32);
+    for site in &summary.sites {
+        let origin = model.method(site.method);
+        h.write_str(&origin.class);
+        h.write_str(&origin.name);
+        let (tag, idx) = match site.site {
+            AllocSite::BinderParam(i) => (0u8, i as u32),
+            AllocSite::DeathRecipient => (1, 0),
+            AllocSite::ThreadPeer => (2, 0),
+            AllocSite::ParcelStrongBinder => (3, 0),
+        };
+        h.write_u8(tag);
+        h.write_u32(idx);
+        h.write_u8(match site.fate {
+            Retention::Released => 0,
+            Retention::Bounded => 1,
+            Retention::Unbounded => 2,
+        });
+        h.write_u8(match site.escape {
+            None => 0,
+            Some(EscapeKind::ScalarReplace) => 1,
+            Some(EscapeKind::BoundedCollection) => 2,
+            Some(EscapeKind::UnboundedCollection) => 3,
+        });
+        h.write_u8(u8::from(site.read_only_key));
+    }
+    h.finish()
+}
+
+// ------------------------------------------------------------------
+// File load/store
+// ------------------------------------------------------------------
+
+/// The cache file's validated contents. Rejected parts are simply
+/// absent; `invalidated` counts every rejection.
+#[derive(Debug, Default)]
+pub struct LoadedCache {
+    /// Tier A summaries, present only when the header's corpus
+    /// fingerprint matched `expected_fp` and the payload decoded clean.
+    pub tier_a: Option<Vec<MethodSummary>>,
+    /// SCC count recorded beside Tier A (reported as hits on a full
+    /// Tier A hit).
+    pub scc_count: u32,
+    /// Raw Tier B record payloads by SCC key (checksums verified;
+    /// decode on use). Left empty on a clean Tier A hit: the records
+    /// would never be consulted, so the warm path skips verifying and
+    /// copying them.
+    pub tier_b: BTreeMap<u64, Vec<u8>>,
+    /// Corrupt or stale parts rejected while loading.
+    pub invalidated: u64,
+}
+
+/// Loads and validates `path`. A missing file is an empty cache, not
+/// corruption; every malformed region bumps `invalidated` and is
+/// dropped.
+pub fn load(path: &Path, expected_fp: u64, method_count: usize) -> LoadedCache {
+    let mut out = LoadedCache::default();
+    let Ok(bytes) = fs::read(path) else {
+        return out;
+    };
+    if bytes.len() < HEADER_LEN {
+        out.invalidated += 1;
+        return out;
+    }
+    if &bytes[..8] != MAGIC {
+        out.invalidated += 1;
+        return out;
+    }
+    let mut d = Dec::new(&bytes[8..]);
+    let version = d.u32().expect("header length checked");
+    if version != SCHEMA_VERSION {
+        out.invalidated += 1;
+        return out;
+    }
+    let corpus_fp = d.u64().expect("header length checked");
+    out.scc_count = d.u32().expect("header length checked");
+    let tier_a_len = d.u32().expect("header length checked") as usize;
+    let Some(tier_a_payload) = d.take(tier_a_len) else {
+        out.invalidated += 1;
+        return out;
+    };
+    let Some(tier_a_sum) = d.u64() else {
+        out.invalidated += 1;
+        return out;
+    };
+    if checksum(tier_a_payload) != tier_a_sum {
+        // The length field itself is no longer trustworthy, so neither
+        // is any Tier B framing after it: stop here.
+        out.invalidated += 1;
+        return out;
+    }
+    if corpus_fp == expected_fp {
+        match decode_tier_a(tier_a_payload, method_count) {
+            Some(summaries) => out.tier_a = Some(summaries),
+            None => out.invalidated += 1,
+        }
+    }
+    // Walk the Tier B framing (cheap pointer arithmetic) so truncation
+    // is always detected, but defer the checksums: on a clean Tier A
+    // hit the records are never consulted and verifying megabytes of
+    // payload would dominate the warm path. Checksums run only when the
+    // records will be used (Tier A miss) or rewritten (repair).
+    let mut frames: Vec<(u64, &[u8], u64)> = Vec::new();
+    while !d.done() {
+        let (Some(key), Some(len)) = (d.u64(), d.u32()) else {
+            out.invalidated += 1;
+            break;
+        };
+        let Some(payload) = d.take(len as usize) else {
+            out.invalidated += 1;
+            break;
+        };
+        let Some(sum) = d.u64() else {
+            out.invalidated += 1;
+            break;
+        };
+        frames.push((key, payload, sum));
+    }
+    if out.tier_a.is_some() && out.invalidated == 0 {
+        return out;
+    }
+    for (key, payload, sum) in frames {
+        if checksum(payload) != sum {
+            out.invalidated += 1;
+            continue;
+        }
+        // Duplicate keys: last record wins, matching append semantics.
+        out.tier_b.insert(key, payload.to_vec());
+    }
+    out
+}
+
+/// Atomically writes the cache file (temp file + rename). Tier B
+/// records are emitted in key order so identical logical contents
+/// produce identical bytes.
+pub fn store(
+    path: &Path,
+    corpus_fp: u64,
+    scc_count: u32,
+    tier_a: &[u8],
+    tier_b: &BTreeMap<u64, Vec<u8>>,
+) -> io::Result<()> {
+    let mut bytes = Vec::with_capacity(
+        HEADER_LEN + tier_a.len() + 8 + tier_b.values().map(|p| p.len() + 20).sum::<usize>(),
+    );
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&SCHEMA_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&corpus_fp.to_le_bytes());
+    bytes.extend_from_slice(&scc_count.to_le_bytes());
+    bytes.extend_from_slice(&(tier_a.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(tier_a);
+    bytes.extend_from_slice(&checksum(tier_a).to_le_bytes());
+    for (key, payload) in tier_b {
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        bytes.extend_from_slice(&checksum(payload).to_le_bytes());
+    }
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let tmp = path.with_extension("bin.tmp");
+    fs::write(&tmp, &bytes)?;
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgre_corpus::spec::AospSpec;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("jgre-cache-{}-{tag}.bin", std::process::id()))
+    }
+
+    #[test]
+    fn tier_a_roundtrips() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let analysis = crate::leakcheck::LeakChecker::new(&model).analyze();
+        let ordered: Vec<MethodSummary> = model
+            .methods
+            .iter()
+            .map(|def| analysis.summaries[&def.id].clone())
+            .collect();
+        let bytes = encode_tier_a(&ordered);
+        let decoded = decode_tier_a(&bytes, model.methods.len()).expect("clean roundtrip");
+        assert_eq!(decoded, ordered);
+        // The wrong method count must reject the table.
+        assert!(decode_tier_a(&bytes, model.methods.len() + 1).is_none());
+    }
+
+    #[test]
+    fn record_roundtrips_by_name() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let analysis = crate::leakcheck::LeakChecker::new(&model).analyze();
+        let rcl = model
+            .find_method("android.os.RemoteCallbackList", "register")
+            .unwrap();
+        let summary = &analysis.summaries[&rcl];
+        let bytes = encode_record(&model, &[(rcl, summary)]);
+        let name_index: HashMap<(&str, &str), MethodId> = model
+            .methods
+            .iter()
+            .map(|d| ((d.class.as_str(), d.name.as_str()), d.id))
+            .collect();
+        let members = remap_record(&bytes, &[rcl], &name_index).expect("clean roundtrip");
+        assert_eq!(members, vec![(rcl, summary.clone())]);
+        // Truncated record bytes must be rejected, not mis-decoded.
+        assert!(remap_record(&bytes[..bytes.len() - 1], &[rcl], &name_index).is_none());
+        // A record that does not map onto the SCC must be refused.
+        assert!(remap_record(&bytes, &[MethodId(0)], &name_index).is_none());
+    }
+
+    #[test]
+    fn load_rejects_bad_magic_version_and_checksum() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let path = temp_path("hdr");
+        let defaults = vec![MethodSummary::default(); model.methods.len()];
+        let tier_a = encode_tier_a(&defaults);
+        store(&path, 7, 1, &tier_a, &BTreeMap::new()).unwrap();
+
+        let clean = load(&path, 7, model.methods.len());
+        assert_eq!(clean.invalidated, 0);
+        assert!(clean.tier_a.is_some());
+        // Different corpus fingerprint: stale but not corrupt.
+        let stale = load(&path, 8, model.methods.len());
+        assert_eq!(stale.invalidated, 0);
+        assert!(stale.tier_a.is_none());
+
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load(&path, 7, model.methods.len()).invalidated, 1);
+
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[0] ^= 0xff; // restore magic
+        bytes[8] ^= 0xff; // corrupt version
+        fs::write(&path, &bytes).unwrap();
+        assert_eq!(load(&path, 7, model.methods.len()).invalidated, 1);
+
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[8] ^= 0xff; // restore version
+        let mid = HEADER_LEN + tier_a.len() / 2;
+        bytes[mid] ^= 0xff; // corrupt the Tier A payload
+        fs::write(&path, &bytes).unwrap();
+        let poisoned = load(&path, 7, model.methods.len());
+        assert_eq!(poisoned.invalidated, 1);
+        assert!(poisoned.tier_a.is_none());
+
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn clean_tier_a_hit_skips_tier_b_materialization() {
+        let path = temp_path("lazy");
+        let mut tier_b = BTreeMap::new();
+        tier_b.insert(3u64, vec![7u8; 16]);
+        store(&path, 11, 1, &encode_tier_a(&[]), &tier_b).unwrap();
+        let hit = load(&path, 11, 0);
+        assert!(hit.tier_a.is_some());
+        assert_eq!(hit.invalidated, 0);
+        assert!(hit.tier_b.is_empty(), "records copied on a pure hit");
+        // A Tier A miss (other corpus) must still materialize them.
+        let miss = load(&path, 12, 0);
+        assert!(miss.tier_a.is_none());
+        assert_eq!(miss.tier_b.len(), 1);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_recovers_tier_b_prefix_from_truncation() {
+        let path = temp_path("trunc");
+        let mut tier_b = BTreeMap::new();
+        tier_b.insert(1u64, vec![0u8; 16]);
+        tier_b.insert(2u64, vec![1u8; 16]);
+        store(&path, 9, 2, &encode_tier_a(&[]), &tier_b).unwrap();
+        let full = fs::read(&path).unwrap();
+        // Cut inside the second record: the first must survive.
+        fs::write(&path, &full[..full.len() - 4]).unwrap();
+        let loaded = load(&path, 9, 0);
+        assert_eq!(loaded.invalidated, 1);
+        assert_eq!(loaded.tier_b.len(), 1);
+        assert!(loaded.tier_b.contains_key(&1));
+        fs::remove_file(&path).ok();
+    }
+}

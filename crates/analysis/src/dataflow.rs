@@ -191,6 +191,95 @@ impl Condensation {
         }
         map
     }
+
+    /// Dense method-indexed variant of [`Condensation::scc_of`].
+    pub fn scc_index(&self, method_count: usize) -> Vec<usize> {
+        let mut index = vec![usize::MAX; method_count];
+        for (i, scc) in self.sccs.iter().enumerate() {
+            for m in scc {
+                index[m.0 as usize] = i;
+            }
+        }
+        index
+    }
+
+    /// Groups SCCs into reverse-topological *waves*: level 0 holds SCCs
+    /// with no external callees, level `k` holds SCCs whose deepest
+    /// external callee sits at level `k-1`. All SCCs within one wave are
+    /// mutually independent, so a bottom-up summary computation can
+    /// process each wave in parallel with one barrier per level.
+    pub fn levels(&self, model: &CodeModel) -> Vec<Vec<usize>> {
+        let scc_index = self.scc_index(model.methods.len());
+        let mut level = vec![0usize; self.sccs.len()];
+        let mut max_level = 0;
+        for (i, scc) in self.sccs.iter().enumerate() {
+            let mut l = 0;
+            for m in scc {
+                let def = model.method(*m);
+                for callee in def.calls.iter().chain(def.handler_posts.iter()) {
+                    let j = scc_index[callee.0 as usize];
+                    // Callee-first order guarantees j's level is final.
+                    if j != i {
+                        l = l.max(level[j] + 1);
+                    }
+                }
+            }
+            level[i] = l;
+            max_level = max_level.max(l);
+        }
+        let mut waves = vec![Vec::new(); max_level + 1];
+        for (i, l) in level.iter().enumerate() {
+            waves[*l].push(i);
+        }
+        waves
+    }
+}
+
+/// Runs `work` over `items` on up to `threads` scoped worker threads and
+/// returns `(item, result)` pairs in the original `items` order — one
+/// wave of the parallel bottom-up scheduler.
+///
+/// Items are dealt round-robin to workers, and results are re-assembled
+/// positionally, so the output (and therefore everything folded from it)
+/// is identical for every thread count — the determinism the incremental
+/// cache's fingerprints rely on. With `threads <= 1` no thread is
+/// spawned at all.
+pub fn run_wave<R, F>(items: &[usize], threads: usize, work: F) -> Vec<(usize, R)>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(|&i| (i, work(i))).collect();
+    }
+    let mut slots: Vec<Option<(usize, R)>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let work = &work;
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                scope.spawn(move || {
+                    items
+                        .iter()
+                        .enumerate()
+                        .skip(t)
+                        .step_by(workers)
+                        .map(|(pos, &i)| (pos, (i, work(i))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (pos, result) in handle.join().expect("wave worker panicked") {
+                slots[pos] = Some(result);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every wave slot filled"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize, Value};
 use jgre_corpus::spec::AospSpec;
 use jgre_corpus::CodeModel;
 
-use crate::leakcheck::{DataflowDetector, LeakVerdict, Retention, SolverStats};
+use crate::leakcheck::{AnalysisOptions, DataflowDetector, LeakVerdict, Retention, SolverStats};
 use crate::witness::Witness;
 use crate::{IpcMethodExtractor, JgrEntryExtractor, ServiceKind};
 
@@ -170,9 +170,20 @@ impl LintReport {
     /// assert_eq!(report.accuracy.recall, 1.0);
     /// ```
     pub fn generate(model: &CodeModel, spec: &AospSpec) -> LintReport {
+        Self::generate_with(model, spec, &AnalysisOptions::default())
+    }
+
+    /// [`LintReport::generate`] with summary caching and parallelism
+    /// knobs; findings are identical in every mode, only
+    /// [`LintReport::stats`] reflects the cache traffic.
+    pub fn generate_with(
+        model: &CodeModel,
+        spec: &AospSpec,
+        options: &AnalysisOptions,
+    ) -> LintReport {
         let ipc = IpcMethodExtractor::new(model).extract();
         let entries = JgrEntryExtractor::new(model).extract();
-        let out = DataflowDetector::new(model, &entries).detect(&ipc);
+        let out = DataflowDetector::new(model, &entries).detect_with(&ipc, options);
 
         let mut diagnostics = Vec::new();
         for row in &out.verdicts {
@@ -314,6 +325,29 @@ impl LintReport {
                                 ("rules", Value::Array(rules)),
                             ]),
                         )]),
+                    ),
+                    (
+                        "invocations",
+                        Value::Array(vec![obj(vec![
+                            ("executionSuccessful", Value::Bool(true)),
+                            (
+                                "properties",
+                                obj(vec![
+                                    ("summaries", Value::UInt(self.stats.methods as u64)),
+                                    ("sccs", Value::UInt(self.stats.sccs as u64)),
+                                    (
+                                        "solverIterations",
+                                        Value::UInt(self.stats.solver_iterations),
+                                    ),
+                                    ("cacheHits", Value::UInt(self.stats.cache_hits)),
+                                    ("cacheMisses", Value::UInt(self.stats.cache_misses)),
+                                    (
+                                        "cacheInvalidated",
+                                        Value::UInt(self.stats.cache_invalidated),
+                                    ),
+                                ]),
+                            ),
+                        ])]),
                     ),
                     ("results", Value::Array(results)),
                 ])]),

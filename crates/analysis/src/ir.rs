@@ -7,8 +7,169 @@
 //! iterates over this representation.
 
 use jgre_corpus::body::{AllocSite, BodyStmt, FieldKind, MethodBody, Place, Var};
-use jgre_corpus::MethodId;
+use jgre_corpus::{CodeModel, MethodDef, MethodId};
 use serde::{Deserialize, Serialize};
+
+/// A stable 64-bit content hash of one method's analysis-relevant facts.
+///
+/// Fingerprints are the cache keys of the incremental summary engine:
+/// they must be identical across processes, platforms, and map iteration
+/// orders, so they are computed with an explicitly specified chunked
+/// mixer ([`StableHasher`]) rather than `std::hash` (whose output is not
+/// guaranteed stable between runs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fingerprint(pub u64);
+
+/// Deterministic 64-bit hasher: each absorbed word is xored into the
+/// state and stirred with one multiply + rotate (the absorption map is
+/// invertible, so distinct prefixes never merge); [`finish`] runs the
+/// splitmix64 finalizer to diffuse the last words. One multiply per
+/// *eight* bytes keeps the warm cache path fast — the whole-corpus
+/// fingerprint and the on-disk checksums hash megabytes, where a
+/// byte-serial walk (FNV et al.) would dominate the runtime.
+///
+/// [`finish`]: StableHasher::finish
+///
+/// Every multi-byte value is folded in little-endian order and every
+/// variable-length field carries its length, so distinct fact sequences
+/// cannot collide by concatenation ambiguity.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        // Seed at the FNV-1a offset basis (any fixed odd constant works).
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl StableHasher {
+    /// Fresh hasher at the fixed seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn absorb(&mut self, v: u64) {
+        self.0 = (self.0 ^ v)
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .rotate_left(23);
+    }
+
+    /// Fold raw bytes, eight at a time, closed by the byte length (so a
+    /// trailing zero byte and a missing one hash differently).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.absorb(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.absorb(u64::from_le_bytes(tail));
+        }
+        self.absorb(bytes.len() as u64);
+    }
+
+    /// Fold one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.absorb(u64::from(v));
+    }
+
+    /// Fold a `u32`.
+    pub fn write_u32(&mut self, v: u32) {
+        self.absorb(u64::from(v));
+    }
+
+    /// Fold a `u64`.
+    pub fn write_u64(&mut self, v: u64) {
+        self.absorb(v);
+    }
+
+    /// Fold a string, length-prefixed.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u32(s.len() as u32);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The accumulated hash, diffused through the splitmix64 finalizer
+    /// (per-absorb stirring is deliberately light, so the raw state's
+    /// low bits would be biased toward the last absorbed words).
+    pub fn finish(&self) -> u64 {
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Hashes the facts that determine one method's synthesized body and
+/// call edges: class + name (the JNI-wrapper special cases key on them),
+/// binder-parameter usages, direct and Handler call edges (callees by
+/// *name*, so renumbering [`MethodId`]s does not shift fingerprints),
+/// and whether the method is a lifted JGR entry point.
+///
+/// Bodies are derived on demand from exactly these facts
+/// (`jgre_corpus::body`), so two methods with equal fact fingerprints
+/// lower to identical CFG IR — [`Cfg::fingerprint`] asserts that
+/// correspondence in the test suite.
+pub fn method_fact_fingerprint(model: &CodeModel, def: &MethodDef, jgr_entry: bool) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_u64(0x4a47_5245_4d46_5031); // "JGREMFP1": fact-recipe tag
+    h.write_str(&def.class);
+    h.write_str(&def.name);
+    h.write_u8(u8::from(jgr_entry));
+    h.write_u32(def.binder_params.len() as u32);
+    for usage in &def.binder_params {
+        use jgre_corpus::ParamUsage;
+        h.write_u8(match usage {
+            ParamUsage::StoredInCollection => 0,
+            ParamUsage::StoredInCollectionBounded => 1,
+            ParamUsage::LocalOnly => 2,
+            ParamUsage::ReadOnlyMapKey => 3,
+            ParamUsage::AssignedToMemberField => 4,
+        });
+    }
+    for (edges, tag) in [(&def.calls, 0u8), (&def.handler_posts, 1u8)] {
+        h.write_u32(edges.len() as u32);
+        for callee in edges {
+            let callee = model.method(*callee);
+            h.write_str(&callee.class);
+            h.write_str(&callee.name);
+            h.write_u8(tag);
+        }
+    }
+    Fingerprint(h.finish())
+}
+
+/// Batch form of [`method_fact_fingerprint`] for the whole corpus;
+/// `is_jgr_entry[i]` flags method `i` as a lifted JGR entry point.
+pub fn method_fact_fingerprints(model: &CodeModel, is_jgr_entry: &[bool]) -> Vec<u64> {
+    model
+        .methods
+        .iter()
+        .map(|def| {
+            let jgr = is_jgr_entry
+                .get(def.id.0 as usize)
+                .copied()
+                .unwrap_or(false);
+            method_fact_fingerprint(model, def, jgr).0
+        })
+        .collect()
+}
+
+/// Combines all per-method fact fingerprints (in [`MethodId`] order) into
+/// one corpus-level fingerprint — the key of the whole-corpus fast path
+/// in the summary cache.
+pub fn corpus_fingerprint(fingerprints: &[u64]) -> Fingerprint {
+    let mut h = StableHasher::new();
+    h.write_u64(0x4a47_5245_4350_5331); // "JGRECPS1": corpus-recipe tag
+    h.write_u32(fingerprints.len() as u32);
+    for fp in fingerprints {
+        h.write_u64(*fp);
+    }
+    Fingerprint(h.finish())
+}
 
 /// Index of a block in [`Cfg::blocks`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -127,6 +288,91 @@ impl Cfg {
             Terminator::Branch { then_, else_ } => vec![then_, else_],
             Terminator::Return => Vec::new(),
         }
+    }
+
+    /// Stable content hash of the lowered IR, with call edges identified
+    /// by callee *name* (resolved through `model`) so the hash survives
+    /// [`MethodId`] renumbering.
+    ///
+    /// [`method_fact_fingerprint`] hashes the fact base this CFG is
+    /// derived from; the two agree on "did anything change" because
+    /// bodies are synthesized deterministically from facts. The cheaper
+    /// fact hash is what the incremental engine uses per run; this one
+    /// exists to cross-check that equivalence in tests.
+    pub fn fingerprint(&self, model: &CodeModel) -> Fingerprint {
+        let mut h = StableHasher::new();
+        h.write_u64(0x4a47_5245_4346_4731); // "JGRECFG1": IR-recipe tag
+        h.write_u32(self.blocks.len() as u32);
+        for block in &self.blocks {
+            h.write_u32(block.stmts.len() as u32);
+            for stmt in &block.stmts {
+                match stmt {
+                    Stmt::AllocJgr { dst, site } => {
+                        h.write_u8(0);
+                        h.write_u32(*dst);
+                        let (tag, idx) = match site {
+                            AllocSite::BinderParam(i) => (0u8, *i as u32),
+                            AllocSite::DeathRecipient => (1, 0),
+                            AllocSite::ThreadPeer => (2, 0),
+                            AllocSite::ParcelStrongBinder => (3, 0),
+                        };
+                        h.write_u8(tag);
+                        h.write_u32(idx);
+                    }
+                    Stmt::ReleaseJgr { src } => {
+                        h.write_u8(1);
+                        match src {
+                            Place::Var(v) => {
+                                h.write_u8(0);
+                                h.write_u32(*v);
+                            }
+                            Place::Field(f) => {
+                                h.write_u8(1);
+                                h.write_str(f);
+                            }
+                        }
+                    }
+                    Stmt::StoreField { src, field, kind } => {
+                        h.write_u8(2);
+                        h.write_u32(*src);
+                        h.write_str(field);
+                        h.write_u8(match kind {
+                            FieldKind::Collection { bounded: false } => 0,
+                            FieldKind::Collection { bounded: true } => 1,
+                            FieldKind::MapKeyReadOnly => 2,
+                            FieldKind::Scalar => 3,
+                        });
+                    }
+                    Stmt::StoreLocal { src } => {
+                        h.write_u8(3);
+                        h.write_u32(*src);
+                    }
+                    Stmt::Call {
+                        callee,
+                        via_handler,
+                    } => {
+                        h.write_u8(4);
+                        let callee = model.method(*callee);
+                        h.write_str(&callee.class);
+                        h.write_str(&callee.name);
+                        h.write_u8(u8::from(*via_handler));
+                    }
+                }
+            }
+            match block.term {
+                Terminator::Goto(t) => {
+                    h.write_u8(0);
+                    h.write_u32(t.0);
+                }
+                Terminator::Branch { then_, else_ } => {
+                    h.write_u8(1);
+                    h.write_u32(then_.0);
+                    h.write_u32(else_.0);
+                }
+                Terminator::Return => h.write_u8(2),
+            }
+        }
+        Fingerprint(h.finish())
     }
 
     /// Blocks in reverse postorder from the entry — the iteration order
@@ -259,6 +505,86 @@ mod tests {
         let rpo = cfg.reverse_postorder();
         assert_eq!(rpo[0], Cfg::ENTRY);
         assert_eq!(rpo.len(), 4, "all blocks reachable");
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_across_syntheses() {
+        let a = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let b = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        for (da, db) in a.methods.iter().zip(&b.methods) {
+            assert_eq!(
+                method_fact_fingerprint(&a, da, false),
+                method_fact_fingerprint(&b, db, false),
+            );
+            assert_eq!(
+                Cfg::lower(&a.method_body(da.id)).fingerprint(&a),
+                Cfg::lower(&b.method_body(db.id)).fingerprint(&b),
+            );
+        }
+    }
+
+    #[test]
+    fn fact_fingerprint_tracks_cfg_fingerprint() {
+        // Equal fact hashes must imply equal IR hashes (soundness of using
+        // the cheap fact hash as the cache key), and the mutations the
+        // differential suite applies must move both.
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let mut mutated = model.clone();
+        let target = mutated
+            .methods
+            .iter()
+            .position(|d| !d.binder_params.is_empty())
+            .expect("some method has binder params");
+        mutated.methods[target].binder_params[0] = jgre_corpus::ParamUsage::StoredInCollection;
+        mutated.methods[target]
+            .binder_params
+            .push(jgre_corpus::ParamUsage::LocalOnly);
+        for (old, new) in model.methods.iter().zip(&mutated.methods) {
+            let facts_equal = method_fact_fingerprint(&model, old, false)
+                == method_fact_fingerprint(&mutated, new, false);
+            let ir_equal = Cfg::lower(&model.method_body(old.id)).fingerprint(&model)
+                == Cfg::lower(&mutated.method_body(new.id)).fingerprint(&mutated);
+            assert_eq!(
+                facts_equal, ir_equal,
+                "fact hash and IR hash disagree for {}.{}",
+                old.class, old.name
+            );
+            assert_eq!(facts_equal, old.id.0 as usize != target);
+        }
+    }
+
+    #[test]
+    fn entry_set_membership_is_part_of_the_fingerprint() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let def = &model.methods[0];
+        assert_ne!(
+            method_fact_fingerprint(&model, def, false),
+            method_fact_fingerprint(&model, def, true),
+        );
+    }
+
+    #[test]
+    fn batch_fingerprints_match_the_single_method_recipe() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let mut entries = vec![false; model.methods.len()];
+        entries[7] = true;
+        let batch = method_fact_fingerprints(&model, &entries);
+        for def in &model.methods {
+            assert_eq!(
+                batch[def.id.0 as usize],
+                method_fact_fingerprint(&model, def, def.id.0 == 7).0,
+                "batch diverged for {}.{}",
+                def.class,
+                def.name
+            );
+        }
+    }
+
+    #[test]
+    fn corpus_fingerprint_is_order_and_content_sensitive() {
+        assert_ne!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[2, 1]));
+        assert_ne!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[1, 2, 3]));
+        assert_eq!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[1, 2]));
     }
 
     #[test]

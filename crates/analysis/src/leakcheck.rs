@@ -14,15 +14,21 @@
 //! the heuristic detector is kept as a cross-check oracle (see
 //! [`DataflowOutput::cross_check`]).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::path::PathBuf;
 
 use jgre_corpus::body::{AllocSite, FieldKind, Place, Var};
 use jgre_corpus::spec::ProtectionLevel;
 use jgre_corpus::{CodeModel, MethodId};
 use serde::{Deserialize, Serialize};
 
-use crate::dataflow::{condense_call_graph, solve_forward, ForwardAnalysis, JoinSemiLattice};
-use crate::ir::{Cfg, Stmt, Terminator};
+use crate::cache;
+use crate::dataflow::{
+    condense_call_graph, run_wave, solve_forward, ForwardAnalysis, JoinSemiLattice,
+};
+use crate::ir::{
+    corpus_fingerprint, method_fact_fingerprints, Cfg, StableHasher, Stmt, Terminator,
+};
 use crate::{DetectorOutput, IpcMethod, JgrEntrySets, RiskyInterface, SiftReason};
 
 /// Net effect of one allocation site on the process's JGR footprint.
@@ -88,12 +94,49 @@ impl MethodSummary {
 pub struct SolverStats {
     /// Methods analysed (one CFG each).
     pub methods: usize,
-    /// Total basic blocks across all CFGs.
+    /// Total basic blocks across all CFGs *lowered this run* — cache
+    /// hits skip lowering entirely, so a warm run reports fewer.
     pub cfg_blocks: usize,
     /// SCCs of the call graph.
     pub sccs: usize,
     /// Total block transfers executed by the fixpoint solver.
     pub solver_iterations: u64,
+    /// SCC summaries served from the cache.
+    pub cache_hits: u64,
+    /// SCC summaries computed from scratch (every SCC, when no cache
+    /// directory is configured).
+    pub cache_misses: u64,
+    /// Cache regions rejected as corrupt, stale-schema, or unmappable
+    /// and recomputed.
+    pub cache_invalidated: u64,
+}
+
+/// Knobs for one analysis run; the default is serial and uncached —
+/// byte-for-byte the legacy `analyze()` behavior.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Directory holding the persistent summary cache
+    /// ([`cache::CACHE_FILE`] inside it). `None` disables caching.
+    pub cache_dir: Option<PathBuf>,
+    /// Worker threads for the per-wave SCC fan-out; `None` or `Some(1)`
+    /// runs serial. Results are identical for every thread count.
+    pub threads: Option<usize>,
+}
+
+impl AnalysisOptions {
+    /// Options with a cache directory set.
+    pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            cache_dir: Some(dir.into()),
+            threads: None,
+        }
+    }
+
+    /// Sets the wave worker-thread count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
 }
 
 /// The dataflow verdict for one IPC method — the paper's sift rules
@@ -315,6 +358,28 @@ struct IntraResult {
 #[derive(Debug)]
 pub struct LeakChecker<'m> {
     model: &'m CodeModel,
+    /// Step-2 entry sets; when present, entry-set membership is part of
+    /// each method's fact fingerprint (the native side is not otherwise
+    /// visible in Java facts).
+    entries: Option<&'m JgrEntrySets>,
+}
+
+/// What one wave worker produced for one SCC.
+struct SccOutcome {
+    /// The SCC cache key (0 when caching is disabled).
+    key: u64,
+    /// Portable record bytes for the store pass (caching runs only).
+    record: Option<Vec<u8>>,
+    /// Final summaries of the SCC's members.
+    members: Vec<(MethodId, MethodSummary)>,
+    /// Served from the cache?
+    hit: bool,
+    /// Cache entries rejected while trying to serve this SCC.
+    invalidated: u64,
+    /// Basic blocks lowered (0 on a hit).
+    cfg_blocks: usize,
+    /// Solver block transfers (0 on a hit).
+    iterations: u64,
 }
 
 /// The completed whole-corpus analysis: per-method summaries plus
@@ -330,7 +395,18 @@ pub struct LeakAnalysis {
 impl<'m> LeakChecker<'m> {
     /// Wraps a code model.
     pub fn new(model: &'m CodeModel) -> Self {
-        Self { model }
+        Self {
+            model,
+            entries: None,
+        }
+    }
+
+    /// Folds the step-2 JGR entry sets into the fact fingerprints, so a
+    /// native-side change that flips a method's entry membership also
+    /// invalidates its cached summaries.
+    pub fn with_entries(mut self, entries: &'m JgrEntrySets) -> Self {
+        self.entries = Some(entries);
+        self
     }
 
     /// Lowers every method, solves each CFG to a fixpoint, and folds
@@ -348,77 +424,323 @@ impl<'m> LeakChecker<'m> {
     /// assert_eq!(analysis.verdict_for(link), LeakVerdict::UnboundedLeak);
     /// ```
     pub fn analyze(&self) -> LeakAnalysis {
+        self.analyze_with(&AnalysisOptions::default())
+    }
+
+    /// [`LeakChecker::analyze`] with caching and parallelism knobs.
+    ///
+    /// With a cache directory the run is incremental: an unchanged
+    /// corpus is served whole from the Tier A table; after an edit, only
+    /// the SCC-condensation cone above the changed methods is
+    /// recomputed, everything below comes from Tier B records. Verdicts
+    /// are structurally identical in every mode — hits and misses only
+    /// show up in [`SolverStats`]. Cache writes are best-effort: an
+    /// unwritable directory degrades to a cold run, never an error.
+    pub fn analyze_with(&self, options: &AnalysisOptions) -> LeakAnalysis {
+        let model = self.model;
+        let n = model.methods.len();
+        let threads = options.threads.unwrap_or(1);
         let mut stats = SolverStats {
-            methods: self.model.methods.len(),
+            methods: n,
             ..SolverStats::default()
         };
-        let mut intras = Vec::with_capacity(self.model.methods.len());
-        for def in &self.model.methods {
-            let cfg = Cfg::lower(&self.model.method_body(def.id));
-            stats.cfg_blocks += cfg.blocks.len();
-            let solution = solve_forward(&cfg, &LeakBodyAnalysis);
-            stats.solver_iterations += solution.iterations;
-            let mut final_state: Option<LeakState> = None;
-            for (i, block) in cfg.blocks.iter().enumerate() {
-                if !matches!(block.term, Terminator::Return) {
-                    continue;
-                }
-                let Some(exit) = &solution.exit[i] else {
-                    continue;
-                };
-                match &mut final_state {
-                    None => final_state = Some(exit.clone()),
-                    Some(acc) => {
-                        acc.join(exit);
-                    }
+
+        // Fact fingerprints are cheap (no body synthesis, no lowering):
+        // the entire warm path hashes facts and decodes Tier A.
+        let mut is_jgr_entry = vec![false; n];
+        if let Some(entries) = self.entries {
+            for id in &entries.java_entries {
+                if let Some(slot) = is_jgr_entry.get_mut(id.0 as usize) {
+                    *slot = true;
                 }
             }
-            let mut var_sites = BTreeMap::new();
-            for block in &cfg.blocks {
-                for stmt in &block.stmts {
-                    if let Stmt::AllocJgr { dst, site } = stmt {
-                        var_sites.insert(*dst, *site);
-                    }
+        }
+        let fps = method_fact_fingerprints(model, &is_jgr_entry);
+        let corpus_fp = corpus_fingerprint(&fps).0;
+
+        let cache_path = options
+            .cache_dir
+            .as_ref()
+            .map(|dir| dir.join(cache::CACHE_FILE));
+        let loaded = match &cache_path {
+            Some(path) => cache::load(path, corpus_fp, n),
+            None => cache::LoadedCache::default(),
+        };
+        stats.cache_invalidated = loaded.invalidated;
+
+        // Tier A fast path: the corpus is byte-identical to the cached
+        // one, so every SCC's summaries are served without lowering a
+        // single CFG or even condensing the call graph.
+        if let Some(tier_a) = loaded.tier_a {
+            stats.sccs = loaded.scc_count as usize;
+            stats.cache_hits = u64::from(loaded.scc_count);
+            if loaded.invalidated > 0 {
+                // Tier A survived but some region was rejected (e.g. a
+                // truncated Tier B tail): rewrite the file from the
+                // surviving parts so the next run loads clean.
+                if let Some(path) = &cache_path {
+                    let encoded = cache::encode_tier_a(&tier_a);
+                    let _ =
+                        cache::store(path, corpus_fp, loaded.scc_count, &encoded, &loaded.tier_b);
                 }
             }
-            intras.push(IntraResult {
-                final_state: final_state.unwrap_or_default(),
-                var_sites,
-            });
+            let summaries = tier_a
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| (MethodId(i as u32), s))
+                .collect();
+            return LeakAnalysis { summaries, stats };
         }
 
-        // Bottom-up over the condensation; each SCC iterates to its own
-        // fixpoint (summaries only grow, so this terminates).
-        let cond = condense_call_graph(self.model);
+        let caching = cache_path.is_some();
+        let cond = condense_call_graph(model);
         stats.sccs = cond.sccs.len();
-        let mut summaries: BTreeMap<MethodId, MethodSummary> = BTreeMap::new();
-        for scc in &cond.sccs {
-            for m in scc {
-                summaries.insert(*m, MethodSummary::default());
-            }
-            loop {
-                let mut changed = false;
-                for m in scc {
-                    let folded = fold_summary(*m, &intras[m.0 as usize], &summaries);
-                    if summaries.get(m) != Some(&folded) {
-                        summaries.insert(*m, folded);
-                        changed = true;
+        let scc_index = cond.scc_index(n);
+        let waves = cond.levels(model);
+        let name_index: HashMap<(&str, &str), MethodId> = if loaded.tier_b.is_empty() {
+            HashMap::new()
+        } else {
+            model
+                .methods
+                .iter()
+                .map(|d| ((d.class.as_str(), d.name.as_str()), d.id))
+                .collect()
+        };
+
+        let mut summaries: Vec<Option<MethodSummary>> = vec![None; n];
+        // Summary fingerprints, computed once per method as its SCC
+        // completes; `scc_key` reads its callees' entries instead of
+        // re-encoding the callee summary for every call edge.
+        let mut summary_fps: Vec<Option<u64>> = vec![None; n];
+        let mut used_records: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for wave in &waves {
+            let outcomes = run_wave(wave, threads, |i| {
+                self.process_scc(
+                    i,
+                    &cond.sccs[i],
+                    caching,
+                    &fps,
+                    &scc_index,
+                    &summaries,
+                    &summary_fps,
+                    &loaded.tier_b,
+                    &name_index,
+                )
+            });
+            for (_, outcome) in outcomes {
+                stats.cfg_blocks += outcome.cfg_blocks;
+                stats.solver_iterations += outcome.iterations;
+                stats.cache_hits += u64::from(outcome.hit);
+                stats.cache_misses += u64::from(!outcome.hit);
+                stats.cache_invalidated += outcome.invalidated;
+                if let Some(record) = outcome.record {
+                    used_records.insert(outcome.key, record);
+                }
+                for (m, s) in outcome.members {
+                    if caching {
+                        summary_fps[m.0 as usize] = Some(cache::summary_fingerprint(model, m, &s));
                     }
-                }
-                if !changed {
-                    break;
+                    summaries[m.0 as usize] = Some(s);
                 }
             }
+        }
+
+        let summaries: BTreeMap<MethodId, MethodSummary> = summaries
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| (MethodId(i as u32), s.expect("every SCC processed")))
+            .collect();
+
+        // We only reach here when Tier A missed, so the file on disk is
+        // absent or stale: rewrite it whole. Stale Tier B keys are
+        // garbage-collected by keeping only the keys this run used.
+        if let Some(path) = &cache_path {
+            let ordered: Vec<MethodSummary> = model
+                .methods
+                .iter()
+                .map(|def| summaries[&def.id].clone())
+                .collect();
+            let tier_a = cache::encode_tier_a(&ordered);
+            let _ = cache::store(path, corpus_fp, stats.sccs as u32, &tier_a, &used_records);
         }
         LeakAnalysis { summaries, stats }
     }
+
+    /// Serves one SCC from the cache or computes it: intra solve per
+    /// member plus the SCC-local fixpoint over callee summaries.
+    #[allow(clippy::too_many_arguments)]
+    fn process_scc(
+        &self,
+        scc_idx: usize,
+        scc: &[MethodId],
+        caching: bool,
+        fps: &[u64],
+        scc_index: &[usize],
+        global: &[Option<MethodSummary>],
+        summary_fps: &[Option<u64>],
+        tier_b: &BTreeMap<u64, Vec<u8>>,
+        name_index: &HashMap<(&str, &str), MethodId>,
+    ) -> SccOutcome {
+        let model = self.model;
+        let mut invalidated = 0u64;
+        let key = if caching {
+            self.scc_key(scc_idx, scc, fps, scc_index, summary_fps)
+        } else {
+            0
+        };
+        if caching {
+            if let Some(bytes) = tier_b.get(&key) {
+                match cache::remap_record(bytes, scc, name_index) {
+                    Some(members) => {
+                        return SccOutcome {
+                            key,
+                            record: Some(bytes.clone()),
+                            members,
+                            hit: true,
+                            invalidated,
+                            cfg_blocks: 0,
+                            iterations: 0,
+                        }
+                    }
+                    // A key collision or hand-crafted record that passed
+                    // the checksum but does not map onto this SCC.
+                    None => invalidated += 1,
+                }
+            }
+        }
+
+        let mut cfg_blocks = 0usize;
+        let mut iterations = 0u64;
+        let intras: Vec<IntraResult> = scc
+            .iter()
+            .map(|m| {
+                let (intra, blocks, iters) = solve_intra(model, *m);
+                cfg_blocks += blocks;
+                iterations += iters;
+                intra
+            })
+            .collect();
+        // The SCC-local fixpoint: summaries only grow, so it terminates.
+        let mut local: BTreeMap<MethodId, MethodSummary> =
+            scc.iter().map(|m| (*m, MethodSummary::default())).collect();
+        loop {
+            let mut changed = false;
+            for (i, m) in scc.iter().enumerate() {
+                let folded = fold_summary(*m, &intras[i], &local, global);
+                if local[m] != folded {
+                    local.insert(*m, folded);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let members: Vec<(MethodId, MethodSummary)> = local.into_iter().collect();
+        let record = caching.then(|| {
+            let refs: Vec<(MethodId, &MethodSummary)> =
+                members.iter().map(|(m, s)| (*m, s)).collect();
+            cache::encode_record(model, &refs)
+        });
+        SccOutcome {
+            key,
+            record,
+            members,
+            hit: false,
+            invalidated,
+            cfg_blocks,
+            iterations,
+        }
+    }
+
+    /// The SCC cache key: schema version, the members' fact
+    /// fingerprints, and the summary fingerprints of every external
+    /// callee — both sorted numerically so the key survives `MethodId`
+    /// renumbering and is independent of traversal order.
+    fn scc_key(
+        &self,
+        scc_idx: usize,
+        scc: &[MethodId],
+        fps: &[u64],
+        scc_index: &[usize],
+        summary_fps: &[Option<u64>],
+    ) -> u64 {
+        let model = self.model;
+        let mut member_fps: Vec<u64> = scc.iter().map(|m| fps[m.0 as usize]).collect();
+        member_fps.sort_unstable();
+        let mut callee_fps: Vec<u64> = Vec::new();
+        for m in scc {
+            let def = model.method(*m);
+            for callee in def.calls.iter().chain(def.handler_posts.iter()) {
+                if scc_index[callee.0 as usize] == scc_idx {
+                    continue;
+                }
+                callee_fps.push(summary_fps[callee.0 as usize].expect("callee-first wave order"));
+            }
+        }
+        callee_fps.sort_unstable();
+        callee_fps.dedup();
+        let mut h = StableHasher::new();
+        h.write_u64(0x4a47_5245_534b_5931); // "JGRESKY1": SCC-key tag
+        h.write_u32(cache::SCHEMA_VERSION);
+        h.write_u32(member_fps.len() as u32);
+        for fp in member_fps {
+            h.write_u64(fp);
+        }
+        h.write_u32(callee_fps.len() as u32);
+        for fp in callee_fps {
+            h.write_u64(fp);
+        }
+        h.finish()
+    }
 }
 
-/// Folds a method's intraprocedural result with its callees' summaries.
+/// Lowers and solves one method's body.
+fn solve_intra(model: &CodeModel, id: MethodId) -> (IntraResult, usize, u64) {
+    let cfg = Cfg::lower(&model.method_body(id));
+    let blocks = cfg.blocks.len();
+    let solution = solve_forward(&cfg, &LeakBodyAnalysis);
+    let mut final_state: Option<LeakState> = None;
+    for (i, block) in cfg.blocks.iter().enumerate() {
+        if !matches!(block.term, Terminator::Return) {
+            continue;
+        }
+        let Some(exit) = &solution.exit[i] else {
+            continue;
+        };
+        match &mut final_state {
+            None => final_state = Some(exit.clone()),
+            Some(acc) => {
+                acc.join(exit);
+            }
+        }
+    }
+    let mut var_sites = BTreeMap::new();
+    for block in &cfg.blocks {
+        for stmt in &block.stmts {
+            if let Stmt::AllocJgr { dst, site } = stmt {
+                var_sites.insert(*dst, *site);
+            }
+        }
+    }
+    (
+        IntraResult {
+            final_state: final_state.unwrap_or_default(),
+            var_sites,
+        },
+        blocks,
+        solution.iterations,
+    )
+}
+
+/// Folds a method's intraprocedural result with its callees' summaries,
+/// read from the SCC-local fixpoint map first, then the global table of
+/// already-finished SCCs.
 fn fold_summary(
     own: MethodId,
     intra: &IntraResult,
-    summaries: &BTreeMap<MethodId, MethodSummary>,
+    local: &BTreeMap<MethodId, MethodSummary>,
+    global: &[Option<MethodSummary>],
 ) -> MethodSummary {
     let mut sites: BTreeMap<(MethodId, AllocSite), SiteSummary> = BTreeMap::new();
     let mut merge = |s: SiteSummary| match sites.get_mut(&(s.method, s.site)) {
@@ -461,7 +783,10 @@ fn fold_summary(
     }
     let mut saw_handler = intra.final_state.handler;
     for (callee, guarded) in &intra.final_state.called {
-        let Some(cs) = summaries.get(callee) else {
+        let Some(cs) = local
+            .get(callee)
+            .or_else(|| global[callee.0 as usize].as_ref())
+        else {
             continue;
         };
         saw_handler |= cs.saw_handler;
@@ -624,7 +949,19 @@ impl<'m> DataflowDetector<'m> {
 
     /// Classifies every IPC method from dataflow verdicts.
     pub fn detect(&self, ipc_methods: &[IpcMethod]) -> DataflowOutput {
-        let analysis = LeakChecker::new(self.model).analyze();
+        self.detect_with(ipc_methods, &AnalysisOptions::default())
+    }
+
+    /// [`DataflowDetector::detect`] with caching and parallelism knobs;
+    /// verdicts are structurally identical in every mode.
+    pub fn detect_with(
+        &self,
+        ipc_methods: &[IpcMethod],
+        options: &AnalysisOptions,
+    ) -> DataflowOutput {
+        let analysis = LeakChecker::new(self.model)
+            .with_entries(self.entries)
+            .analyze_with(options);
         let mut risky = Vec::new();
         let mut sifted = Vec::new();
         let mut verdicts = Vec::new();

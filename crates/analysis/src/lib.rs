@@ -41,6 +41,7 @@
 // the reference implementation of the paper's method, so escalate.
 #![deny(missing_docs)]
 
+mod cache;
 mod codegen;
 pub mod dataflow;
 mod detect;
@@ -54,16 +55,22 @@ mod report;
 mod verify;
 pub mod witness;
 
+pub use cache::{CACHE_FILE, SCHEMA_VERSION};
 pub use codegen::{generate_test_case, GeneratedTestCase};
-pub use dataflow::{condense_call_graph, solve_forward, Condensation, ForwardAnalysis, Solution};
+pub use dataflow::{
+    condense_call_graph, run_wave, solve_forward, Condensation, ForwardAnalysis, Solution,
+};
 pub use detect::{DetectorOutput, RiskyInterface, SiftReason, VulnerableIpcDetector};
 pub use diagnostics::{AccuracyReport, Diagnostic, LintReport, RuleId, Severity};
 pub use extract_ipc::{IpcMethod, IpcMethodExtractor, ServiceKind};
 pub use extract_jgr::{JgrEntryExtractor, JgrEntrySets, NativePathAnalysis};
-pub use ir::{BasicBlock, BlockId, Cfg, Stmt, Terminator};
+pub use ir::{
+    corpus_fingerprint, method_fact_fingerprint, method_fact_fingerprints, BasicBlock, BlockId,
+    Cfg, Fingerprint, StableHasher, Stmt, Terminator,
+};
 pub use leakcheck::{
-    CrossCheck, DataflowDetector, DataflowOutput, LeakChecker, LeakVerdict, MethodSummary,
-    Retention, SiteSummary, SolverStats, VerdictRow,
+    AnalysisOptions, CrossCheck, DataflowDetector, DataflowOutput, LeakChecker, LeakVerdict,
+    MethodSummary, Retention, SiteSummary, SolverStats, VerdictRow,
 };
 pub use pipeline::Pipeline;
 pub use report::{AnalysisReport, ConfirmedVulnerability, VerificationStatus};

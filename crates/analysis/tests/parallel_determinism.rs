@@ -1,0 +1,56 @@
+//! Parallel-wave determinism: the SCC fan-out deals work to threads
+//! round-robin and reassembles results positionally, so `analyze` must
+//! produce byte-identical output for every thread count — here checked
+//! 16 times across 1/2/8 workers, on both the raw `DataflowOutput` and
+//! the serialized SARIF document.
+
+use jgre_analysis::{
+    AnalysisOptions, DataflowDetector, IpcMethodExtractor, JgrEntryExtractor, LintReport,
+};
+use jgre_corpus::{spec::AospSpec, CodeModel};
+
+#[test]
+fn sixteen_runs_across_thread_counts_are_identical() {
+    let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+    let ipc = IpcMethodExtractor::new(&model).extract();
+    let entries = JgrEntryExtractor::new(&model).extract();
+    let detector = DataflowDetector::new(&model, &entries);
+
+    let baseline = detector.detect_with(&ipc, &AnalysisOptions::default().threads(1));
+    for run in 0..16 {
+        let threads = [1, 2, 8][run % 3];
+        let out = detector.detect_with(&ipc, &AnalysisOptions::default().threads(threads));
+        assert_eq!(
+            out, baseline,
+            "run {run} with {threads} threads diverged from the serial baseline"
+        );
+    }
+}
+
+#[test]
+fn sarif_bytes_are_stable_across_thread_counts() {
+    let spec = AospSpec::android_6_0_1();
+    let model = CodeModel::synthesize(&spec);
+    let serial = LintReport::generate_with(&model, &spec, &AnalysisOptions::default().threads(1));
+    let serial_sarif = serde_json::to_string_pretty(&serial.to_sarif(&model)).unwrap();
+    for threads in [2, 8] {
+        let report =
+            LintReport::generate_with(&model, &spec, &AnalysisOptions::default().threads(threads));
+        assert_eq!(report, serial, "{threads}-thread report diverged");
+        let sarif = serde_json::to_string_pretty(&report.to_sarif(&model)).unwrap();
+        assert_eq!(sarif, serial_sarif, "{threads}-thread SARIF bytes diverged");
+    }
+}
+
+#[test]
+fn run_wave_preserves_item_order_for_any_thread_count() {
+    let items: Vec<usize> = (0..97).map(|i| i * 3).collect();
+    let serial = jgre_analysis::run_wave(&items, 1, |i| i * i);
+    for threads in [2, 3, 8, 64] {
+        let parallel = jgre_analysis::run_wave(&items, threads, |i| i * i);
+        assert_eq!(parallel, serial, "{threads} threads reordered the wave");
+    }
+    // Degenerate inputs.
+    assert!(jgre_analysis::run_wave(&[], 8, |i| i).is_empty());
+    assert_eq!(jgre_analysis::run_wave(&[5], 8, |i| i + 1), vec![(5, 6)]);
+}

@@ -14,7 +14,7 @@ use jgre_core::{experiments, ExperimentScale};
 const USAGE: &str = "\
 jgre — reproduce 'JGRE: JNI Global Reference Exhaustion in Android' (DSN 2017)
 
-USAGE: jgre [--paper] [--json] [--seed N] <command>
+USAGE: jgre [--paper] [--json] [--seed N] [--cache-dir DIR] [--threads N] <command>
 
 COMMANDS:
   headline     §IV analysis counts (104/54/32/22, 147/67 paths, ...)
@@ -42,11 +42,18 @@ OPTIONS:
                (default: quick 1/16 scale)
   --json       print the raw JSON instead of the rendered table
   --seed N     override the experiment seed (default 2017)
+  --cache-dir DIR
+               (lint) persist per-SCC summaries under DIR; an unchanged
+               corpus re-lints from the cache, an edit recomputes only
+               the affected call-graph cone
+  --threads N  (lint) worker threads for the per-wave SCC fan-out
+               (default 1; results are identical for every N)
 ";
 
 struct Options {
     scale: ExperimentScale,
     json: bool,
+    analysis: jgre_analysis::AnalysisOptions,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -136,13 +143,19 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
         "lint" => {
             let spec = jgre_corpus::AospSpec::android_6_0_1();
             let model = jgre_corpus::CodeModel::synthesize(&spec);
-            let report = jgre_analysis::LintReport::generate(&model, &spec);
+            let report = jgre_analysis::LintReport::generate_with(&model, &spec, &options.analysis);
             let rendered = if options.json {
                 serde_json::to_string_pretty(&report).expect("lint report serialises")
             } else {
                 serde_json::to_string_pretty(&report.to_sarif(&model)).expect("SARIF serialises")
             };
             println!("{rendered}");
+            // The solver/cache footer goes to stderr so stdout stays
+            // pure JSON for downstream SARIF consumers.
+            eprintln!(
+                "summaries: {} (hits {}, misses {})",
+                report.stats.methods, report.stats.cache_hits, report.stats.cache_misses
+            );
         }
         "all" => {
             for cmd in [
@@ -162,6 +175,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::quick();
     let mut json = false;
+    let mut analysis = jgre_analysis::AnalysisOptions::default();
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -172,6 +186,20 @@ fn main() -> ExitCode {
                 Some(Ok(seed)) => scale = scale.with_seed(seed),
                 _ => {
                     eprintln!("--seed needs a number\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cache-dir" => match iter.next() {
+                Some(dir) => analysis.cache_dir = Some(dir.into()),
+                None => {
+                    eprintln!("--cache-dir needs a directory\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match iter.next().map(|s| s.parse::<usize>()) {
+                Some(Ok(threads)) if threads > 0 => analysis.threads = Some(threads),
+                _ => {
+                    eprintln!("--threads needs a positive number\n\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -192,7 +220,14 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    match run(&command, &Options { scale, json }) {
+    match run(
+        &command,
+        &Options {
+            scale,
+            json,
+            analysis,
+        },
+    ) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("{message}");

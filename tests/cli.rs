@@ -152,6 +152,49 @@ fn lint_json_prints_the_raw_report() {
 }
 
 #[test]
+fn lint_prints_the_summary_footer_on_stderr() {
+    let out = jgre().arg("lint").output().expect("binary runs");
+    assert!(out.status.success());
+    // The footer must not pollute the SARIF stdout stream.
+    serde_json::from_slice::<serde_json::Value>(&out.stdout).expect("stdout is pure JSON");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("summaries: 3732 (hits 0, misses 3732)"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn lint_cache_dir_roundtrips_with_identical_findings() {
+    let dir = std::env::temp_dir().join(format!("jgre-cli-cache-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let run = || {
+        let out = jgre()
+            .args(["lint", "--cache-dir", dir.to_str().unwrap()])
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            serde_json::from_slice::<serde_json::Value>(&out.stdout).expect("valid JSON"),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (cold, cold_err) = run();
+    let (warm, warm_err) = run();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(cold_err.contains("misses 3732"), "{cold_err}");
+    assert!(warm_err.contains("(hits 3732, misses 0)"), "{warm_err}");
+    // Findings are structurally identical; only the invocation's cache
+    // counters may differ between the cold and warm run.
+    let results = |v: &serde_json::Value| v["runs"].as_array().unwrap()[0]["results"].clone();
+    assert_eq!(results(&cold), results(&warm));
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = jgre().arg("nonsense").output().expect("binary runs");
     assert!(!out.status.success());
