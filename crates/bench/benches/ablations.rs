@@ -75,7 +75,8 @@ fn threshold_sensitivity() -> Vec<ThresholdRow> {
                 normal_level: record / 2,
                 ..DefenderConfig::default()
             },
-        );
+        )
+        .expect("bench defender config is valid");
         let mal = system.install_app("com.evil", []);
         let mut calls = 0u64;
         let detected = loop {
@@ -223,7 +224,8 @@ fn multipath_comparison() -> Vec<MultiPathRow> {
                 classify_paths: classify,
                 ..DefenderConfig::default()
             },
-        );
+        )
+        .expect("bench defender config is valid");
         let spec = AospSpec::android_6_0_1();
         let vector = AttackVector::service_vectors(&spec)
             .into_iter()

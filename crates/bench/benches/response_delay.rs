@@ -57,7 +57,8 @@ fn bench_defended_attack(c: &mut Criterion) {
                 jgr_capacity: Some(scale.jgr_capacity),
                 ..SystemConfig::default()
             });
-            let defender = JgreDefender::install(&mut system, scale.defender_config());
+            let defender = JgreDefender::install(&mut system, scale.defender_config())
+                .expect("bench defender config is valid");
             run_defended_attack(&mut system, &defender, &vector, 10_000)
         });
     });

@@ -62,7 +62,7 @@ fn bench_gc(c: &mut Criterion) {
 
 fn bench_monitor(c: &mut Criterion) {
     c.bench_function("monitor_event_while_recording", |b| {
-        let monitor = Rc::new(JgrMonitor::new(1, 1 << 30));
+        let monitor = Rc::new(JgrMonitor::new(1, 1 << 30).expect("bench thresholds are valid"));
         let mut rt = Runtime::new(Pid::new(1), SimClock::new(), TraceSink::disabled());
         rt.register_observer(monitor.clone());
         // Cross the record threshold so the hot (recording) path runs.

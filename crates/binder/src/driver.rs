@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use jgre_sim::{Pid, SimClock, SimTime, TraceSink, Uid};
+use jgre_sim::{FaultLayer, IpcLogAction, Pid, SimClock, SimTime, TraceSink, Uid};
 use serde::{Deserialize, Serialize};
 
 use crate::{BinderError, LatencyModel, Parcel};
@@ -45,6 +45,11 @@ impl fmt::Display for NodeId {
 /// system recovers from the transaction code.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IpcRecord {
+    /// Driver-assigned transaction sequence number. Every routed
+    /// transaction consumes one, *including* records a fault injector
+    /// drops from the log — sequence gaps are how the defender estimates
+    /// its log coverage.
+    pub seq: u64,
     /// When the transaction entered the driver.
     pub at: SimTime,
     /// Sending process.
@@ -123,9 +128,12 @@ pub struct BinderDriver {
     next_node: u64,
     log: Vec<IpcRecord>,
     log_enabled: bool,
+    log_sorted: bool,
+    next_seq: u64,
     death_links: Vec<DeathLink>,
     latency: LatencyModel,
     defense_recording: bool,
+    faults: Option<FaultLayer>,
 }
 
 impl BinderDriver {
@@ -138,10 +146,26 @@ impl BinderDriver {
             next_node: 1,
             log: Vec::new(),
             log_enabled: true,
+            log_sorted: true,
+            next_seq: 0,
             death_links: Vec::new(),
             latency: LatencyModel::default(),
             defense_recording: false,
+            faults: None,
         }
+    }
+
+    /// Installs a fault layer; subsequent log appends route through it.
+    /// Pass an [inactive](FaultLayer::inactive) layer (or never call this)
+    /// for a pristine driver.
+    pub fn set_fault_layer(&mut self, faults: FaultLayer) {
+        self.faults = Some(faults);
+    }
+
+    /// Whether the log is still known to be time-ordered. Delay/reorder
+    /// faults clear this; readers must then stop assuming sortedness.
+    pub fn log_is_sorted(&self) -> bool {
+        self.log_sorted
     }
 
     /// Replaces the latency model (used by the Figure 10 sweep).
@@ -251,7 +275,10 @@ impl BinderDriver {
             .transaction_cost(payload_bytes, self.defense_recording);
         let at = self.clock.now();
         self.clock.advance(cost);
+        let seq = self.next_seq;
+        self.next_seq += 1;
         let record = IpcRecord {
+            seq,
             at,
             from_pid,
             from_uid,
@@ -270,9 +297,47 @@ impl BinderDriver {
             record.ipc_type(),
         );
         if self.log_enabled {
-            self.log.push(record.clone());
+            self.append_to_log(&record);
         }
         Ok(record)
+    }
+
+    /// Appends the *logged copy* of a routed transaction, letting the
+    /// fault layer (if any) drop, duplicate, delay, reorder, or jitter it.
+    /// The caller-visible record keeps the true timestamp: faults corrupt
+    /// what the defender *observes*, never what actually happened.
+    fn append_to_log(&mut self, record: &IpcRecord) {
+        let Some(faults) = self.faults.as_ref().filter(|f| f.is_active()) else {
+            self.log.push(record.clone());
+            return;
+        };
+        let mut logged = record.clone();
+        logged.at = faults.jitter_ipc_timestamp(logged.at);
+        match faults.ipc_log_action() {
+            IpcLogAction::Drop => return,
+            IpcLogAction::Keep => {}
+            IpcLogAction::Duplicate => self.push_logged(logged.clone()),
+            IpcLogAction::DelayBy(skew) => logged.at += skew,
+            IpcLogAction::Reorder => {
+                self.push_logged(logged);
+                let n = self.log.len();
+                if n >= 2 {
+                    self.log.swap(n - 1, n - 2);
+                    self.log_sorted = false;
+                }
+                return;
+            }
+        }
+        self.push_logged(logged);
+    }
+
+    fn push_logged(&mut self, record: IpcRecord) {
+        if let Some(last) = self.log.last() {
+            if record.at < last.at {
+                self.log_sorted = false;
+            }
+        }
+        self.log.push(record);
     }
 
     /// The full transaction log (the defender's `/proc/jgre_ipc_log`).
@@ -281,17 +346,33 @@ impl BinderDriver {
     }
 
     /// Log records at or after `since`.
+    ///
+    /// A fault-free log is time-ordered and a partition point avoids a
+    /// full scan; once delay/reorder faults have unsorted it, this falls
+    /// back to filtering the whole log rather than silently skipping
+    /// out-of-place records.
     pub fn log_since(&self, since: SimTime) -> impl Iterator<Item = &IpcRecord> {
-        // The log is time-ordered; a partition point avoids a full scan.
-        let start = self.log.partition_point(|r| r.at < since);
-        self.log[start..].iter()
+        let start = if self.log_sorted {
+            self.log.partition_point(|r| r.at < since)
+        } else {
+            0
+        };
+        self.log[start..].iter().filter(move |r| r.at >= since)
     }
 
     /// Drops log records older than `before`, modelling the bounded proc
     /// file.
     pub fn prune_log(&mut self, before: SimTime) {
-        let start = self.log.partition_point(|r| r.at < before);
-        self.log.drain(..start);
+        if self.log_sorted {
+            let start = self.log.partition_point(|r| r.at < before);
+            self.log.drain(..start);
+        } else {
+            self.log.retain(|r| r.at >= before);
+            // Whatever unsorted prefix existed has been reconsidered
+            // record-by-record; sortedness of the remainder is unknown,
+            // so recompute it once here.
+            self.log_sorted = self.log.windows(2).all(|w| w[0].at <= w[1].at);
+        }
     }
 
     /// Registers a death recipient: `watcher` will be notified when
@@ -530,6 +611,86 @@ mod tests {
         assert!(d
             .record_transaction(Pid::new(2), Uid::new(10_000), node, "I", "m", &p)
             .is_ok());
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_and_monotonic() {
+        let mut d = driver();
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        for expected in 0..4u64 {
+            let rec = d
+                .record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+                .unwrap();
+            assert_eq!(rec.seq, expected);
+        }
+    }
+
+    #[test]
+    fn inactive_fault_layer_changes_nothing() {
+        let mut faulted = driver();
+        faulted.set_fault_layer(FaultLayer::inactive());
+        let mut plain = driver();
+        let pn = plain.create_node(Pid::new(1), "svc");
+        let fnode = faulted.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        for _ in 0..8 {
+            plain
+                .record_transaction(Pid::new(2), Uid::new(10000), pn, "I", "m", &p)
+                .unwrap();
+            faulted
+                .record_transaction(Pid::new(2), Uid::new(10000), fnode, "I", "m", &p)
+                .unwrap();
+        }
+        assert_eq!(plain.log(), faulted.log());
+        assert!(faulted.log_is_sorted());
+    }
+
+    #[test]
+    fn drop_faults_leave_seq_gaps() {
+        use jgre_sim::{FaultIntensity, FaultKind, FaultPlan};
+        let mut d = driver();
+        d.set_fault_layer(FaultLayer::new(
+            FaultPlan::single(FaultKind::IpcDrop, FaultIntensity::Severe),
+            3,
+        ));
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        for _ in 0..200 {
+            d.record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+                .unwrap();
+        }
+        assert!(d.log().len() < 200, "severe drop rate must lose records");
+        // Surviving records keep their original (gapped) sequence numbers.
+        let seqs: Vec<u64> = d.log().iter().map(|r| r.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+        assert!(*seqs.last().unwrap() > seqs.len() as u64 - 1, "gaps exist");
+    }
+
+    #[test]
+    fn reorder_faults_unsort_the_log_and_readers_cope() {
+        use jgre_sim::{FaultIntensity, FaultKind, FaultPlan};
+        let mut d = driver();
+        d.set_fault_layer(FaultLayer::new(
+            FaultPlan::single(FaultKind::IpcReorder, FaultIntensity::Severe),
+            5,
+        ));
+        let node = d.create_node(Pid::new(1), "svc");
+        let p = Parcel::new();
+        let mut stamps = Vec::new();
+        for _ in 0..100 {
+            let rec = d
+                .record_transaction(Pid::new(2), Uid::new(10000), node, "I", "m", &p)
+                .unwrap();
+            stamps.push(rec.at);
+        }
+        assert!(!d.log_is_sorted(), "severe reorder must unsort the log");
+        let mid = stamps[50];
+        let expected = d.log().iter().filter(|r| r.at >= mid).count();
+        assert_eq!(d.log_since(mid).count(), expected);
+        d.prune_log(mid);
+        assert_eq!(d.log().len(), expected);
+        assert!(d.log().iter().all(|r| r.at >= mid));
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl DefendedDevice {
     /// Boots a device at the given scale with the defense installed.
     pub fn boot(scale: ExperimentScale) -> Self {
         let mut system = System::boot_with(scale.system_config());
-        let defender = JgreDefender::install(&mut system, scale.defender_config());
+        let defender = JgreDefender::install(&mut system, scale.defender_config())
+            .expect("scale presets produce a valid defender config");
         Self {
             system,
             defender,

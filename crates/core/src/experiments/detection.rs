@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use crate::ExperimentScale;
 
 /// Result of one defended attack run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DefendedAttack {
     /// The interface attacked.
     pub interface: String,
@@ -70,7 +70,7 @@ pub fn run_defended_attack(
 }
 
 /// §V-C: the defense must stop all 57 identified attacks.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DefenseEffectiveness {
     /// One row per vector.
     pub runs: Vec<DefendedAttack>,
@@ -108,7 +108,8 @@ pub fn defense_effectiveness(scale: ExperimentScale) -> DefenseEffectiveness {
     let mut runs = Vec::new();
     for vector in AttackVector::all_vectors(&spec) {
         let mut system = System::boot_with(scale.system_config());
-        let defender = JgreDefender::install(&mut system, scale.defender_config());
+        let defender = JgreDefender::install(&mut system, scale.defender_config())
+            .expect("scale presets produce a valid defender config");
         let run = run_defended_attack(
             &mut system,
             &defender,
@@ -195,7 +196,8 @@ pub fn response_delay(scale: ExperimentScale) -> ResponseDelay {
     let mut rows = Vec::new();
     for vector in AttackVector::all_vectors(&spec) {
         let mut system = System::boot_with(scale.system_config());
-        let defender = JgreDefender::install(&mut system, scale.defender_config());
+        let defender = JgreDefender::install(&mut system, scale.defender_config())
+            .expect("scale presets produce a valid defender config");
         let run = run_defended_attack(
             &mut system,
             &defender,
@@ -277,7 +279,8 @@ pub fn fig8(scale: ExperimentScale, benign_apps: usize, vectors_limit: usize) ->
         .enumerate()
     {
         let mut system = System::boot_with(scale.system_config());
-        let defender = JgreDefender::install(&mut system, scale.defender_config());
+        let defender = JgreDefender::install(&mut system, scale.defender_config())
+            .expect("scale presets produce a valid defender config");
         let mal = system.install_app("com.malware", vector.permissions.iter().copied());
         let mut actors = vec![Actor {
             uid: mal,
@@ -419,7 +422,8 @@ pub fn fig9(scale: ExperimentScale) -> Fig9 {
         .collect();
 
     let mut system = System::boot_with(scale.system_config());
-    let defender = JgreDefender::install(&mut system, scale.defender_config());
+    let defender = JgreDefender::install(&mut system, scale.defender_config())
+        .expect("scale presets produce a valid defender config");
     let mut malicious = Vec::new();
     let mut actors = Vec::new();
     for (i, v) in vectors.iter().enumerate() {

@@ -1,13 +1,15 @@
 //! Phase 3: the JGRE Defender service.
 
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 use std::rc::Rc;
 
-use jgre_framework::System;
+use jgre_framework::{KillOutcome, System};
 use jgre_sim::{Pid, SimDuration, SimTime, Uid};
 use serde::{Deserialize, Serialize};
 
-use crate::{segment_tree_scores, JgrMonitor, ScoreParams, ScoreReport, UidScore};
+use crate::{segment_tree_scores, DefenseError, JgrMonitor, ScoreParams, ScoreReport, UidScore};
 
 /// Defender tuning. The defaults are the paper's deployed parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +39,24 @@ pub struct DefenderConfig {
     /// scoring. A multi-path attacker splits its timing signature across
     /// paths; per-path buckets restore the concentration.
     pub classify_paths: bool,
+    /// Correlation watchdog: when the fraction of IPC log records that
+    /// survived in the scored horizon (estimated from driver sequence-
+    /// number gaps) falls below this floor, Algorithm 1's timing
+    /// correlation is no longer trustworthy and the defender falls back
+    /// to coarse per-UID call-count scoring, reporting
+    /// [`DegradationCause::LowIpcCoverage`].
+    pub coverage_floor: f64,
+    /// Retries per victim when `am force-stop` fails (fault injection);
+    /// each retry backs off exponentially from
+    /// [`kill_backoff`](Self::kill_backoff).
+    pub kill_retries: u32,
+    /// Initial backoff after a failed kill; doubles per retry.
+    pub kill_backoff: SimDuration,
+    /// Alarm hysteresis: after finishing a pass for a victim, further
+    /// alarms on the same pid are ignored for this long, so a flapping
+    /// table (e.g. kills that keep failing or respawning) cannot trigger
+    /// a kill storm. Zero disables hysteresis (the paper's behaviour).
+    pub cooldown: SimDuration,
 }
 
 impl Default for DefenderConfig {
@@ -55,17 +75,121 @@ impl Default for DefenderConfig {
             confidence: 0.35,
             max_kills: 8,
             classify_paths: false,
+            coverage_floor: 0.95,
+            kill_retries: 3,
+            kill_backoff: SimDuration::from_millis(10),
+            cooldown: SimDuration::ZERO,
         }
     }
 }
 
-/// One completed detection + recovery pass.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct DetectionOutcome {
+impl DefenderConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// The first [`DefenseError`] found, checking thresholds, windows,
+    /// bin width, and the confidence / coverage fractions.
+    pub fn validate(&self) -> Result<(), DefenseError> {
+        if self.record_threshold >= self.trigger_threshold {
+            return Err(DefenseError::InvalidThresholds {
+                record: self.record_threshold,
+                trigger: self.trigger_threshold,
+            });
+        }
+        if self.windows.is_empty() {
+            return Err(DefenseError::NoWindows);
+        }
+        if self.bin.as_micros() == 0 {
+            return Err(DefenseError::ZeroBin);
+        }
+        if !(0.0..=1.0).contains(&self.confidence) || self.confidence.is_nan() {
+            return Err(DefenseError::InvalidConfidence(self.confidence));
+        }
+        if !(0.0..=1.0).contains(&self.coverage_floor) || self.coverage_floor.is_nan() {
+            return Err(DefenseError::InvalidCoverageFloor(self.coverage_floor));
+        }
+        Ok(())
+    }
+}
+
+/// Which ranking produced a detection's scores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoringKind {
+    /// Algorithm 1 timing correlation over the segment-tree histogram —
+    /// full confidence.
+    SegmentTree,
+    /// Coarse per-UID call-count ranking — the degraded fallback when the
+    /// IPC log cannot support timing correlation.
+    CallCount,
+}
+
+/// Why a detection's confidence was reduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DegradationCause {
+    /// Sequence-number gaps show the scored horizon is missing too many
+    /// IPC records for timing correlation; the defender fell back to
+    /// call-count scoring.
+    LowIpcCoverage {
+        /// Estimated surviving fraction of records in the horizon.
+        observed: f64,
+        /// The configured [`DefenderConfig::coverage_floor`].
+        floor: f64,
+    },
+    /// The monitor's JGR timestamps arrived out of order (corrupted
+    /// journal); they were sorted before scoring, but the original order
+    /// was lost.
+    UnsortedJgrTimestamps,
+    /// `am force-stop` kept failing for this app even after retries; its
+    /// entries were not reclaimed.
+    KillFailed {
+        /// The app that would not die.
+        uid: Uid,
+        /// Kill attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// Recovery ended (kill budget or candidates exhausted) with the
+    /// victim's table still above the normal level.
+    RecoveryIncomplete {
+        /// Victim table size when the pass gave up.
+        remaining: usize,
+    },
+}
+
+impl fmt::Display for DegradationCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationCause::LowIpcCoverage { observed, floor } => write!(
+                f,
+                "ipc log coverage {observed:.2} below floor {floor:.2}; fell back to call-count scoring"
+            ),
+            DegradationCause::UnsortedJgrTimestamps => {
+                write!(f, "jgr timestamps unsorted; sorted before scoring")
+            }
+            DegradationCause::KillFailed { uid, attempts } => {
+                write!(f, "kill of {uid} failed after {attempts} attempt(s)")
+            }
+            DegradationCause::RecoveryIncomplete { remaining } => {
+                write!(f, "recovery incomplete: {remaining} entries remain")
+            }
+        }
+    }
+}
+
+/// The facts of one completed detection + recovery pass (shared between
+/// full-confidence and degraded outcomes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DetectionReport {
     /// The process whose alarm fired.
     pub victim: Pid,
     /// When the defender picked the alarm up.
     pub detected_at: SimTime,
+    /// Which ranking produced [`scores`](Self::scores).
+    pub scoring: ScoringKind,
+    /// Estimated fraction of IPC log records that survived in the scored
+    /// horizon (1.0 on a pristine log).
+    pub coverage: f64,
     /// Final scoring round, highest first.
     pub scores: Vec<UidScore>,
     /// Apps killed, in order.
@@ -77,36 +201,97 @@ pub struct DetectionOutcome {
     /// IPC log records scanned across rounds.
     pub records_scanned: u64,
     /// Modeled on-device time for the whole pass — the §V-D.1 response
-    /// delay. Also applied to the virtual clock.
+    /// delay. Also applied to the virtual clock. Includes kill-retry
+    /// backoff under fault injection.
     pub response_delay: SimDuration,
     /// Victim table size after recovery (`None` when the victim died
     /// before recovery finished).
     pub victim_jgr_after: Option<usize>,
 }
 
+/// One completed detection + recovery pass.
+///
+/// [`Full`](Self::Full) is the paper's outcome: a pristine log, Algorithm 1
+/// scoring, a drained table. [`Degraded`](Self::Degraded) carries the same
+/// report plus the explicit reasons confidence was reduced — the defender
+/// states *why* instead of guessing. Both variants [`Deref`](std::ops::Deref)
+/// to [`DetectionReport`], so field access works uniformly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DetectionOutcome {
+    /// Detection and recovery completed with full confidence.
+    Full(DetectionReport),
+    /// Detection completed, but confidence was reduced for the listed
+    /// causes (degraded scoring, failed kills, incomplete recovery).
+    Degraded {
+        /// The facts of the pass.
+        report: DetectionReport,
+        /// Every reason confidence was reduced, in the order encountered.
+        causes: Vec<DegradationCause>,
+    },
+}
+
 impl DetectionOutcome {
+    /// The underlying report, whichever variant this is.
+    pub fn report(&self) -> &DetectionReport {
+        match self {
+            DetectionOutcome::Full(report) => report,
+            DetectionOutcome::Degraded { report, .. } => report,
+        }
+    }
+
+    /// The degradation causes (empty for [`Full`](Self::Full)).
+    pub fn causes(&self) -> &[DegradationCause] {
+        match self {
+            DetectionOutcome::Full(_) => &[],
+            DetectionOutcome::Degraded { causes, .. } => causes,
+        }
+    }
+
+    /// Whether confidence was reduced.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, DetectionOutcome::Degraded { .. })
+    }
+
     /// One-paragraph human summary of the pass (examples and the CLI use
     /// it; all fields remain available for structured consumers).
     pub fn render(&self) -> String {
-        let top = self
+        let r = self.report();
+        let top = r
             .scores
             .iter()
             .take(3)
             .map(|s| format!("{}={}", s.uid, s.score))
             .collect::<Vec<_>>()
             .join(", ");
-        format!(
+        let mut text = format!(
             "victim {} alarmed at {}; {} correlation round(s) over {} IPC records / {} pairs              in {}; top scores [{}]; killed {:?}; victim table now {:?}",
-            self.victim,
-            self.detected_at,
-            self.rounds,
-            self.records_scanned,
-            self.pairs_processed,
-            self.response_delay,
+            r.victim,
+            r.detected_at,
+            r.rounds,
+            r.records_scanned,
+            r.pairs_processed,
+            r.response_delay,
             top,
-            self.killed,
-            self.victim_jgr_after,
-        )
+            r.killed,
+            r.victim_jgr_after,
+        );
+        if let DetectionOutcome::Degraded { causes, .. } = self {
+            let listed = causes
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            text.push_str(&format!("; DEGRADED: {listed}"));
+        }
+        text
+    }
+}
+
+impl std::ops::Deref for DetectionOutcome {
+    type Target = DetectionReport;
+
+    fn deref(&self) -> &DetectionReport {
+        self.report()
     }
 }
 
@@ -116,20 +301,34 @@ impl DetectionOutcome {
 pub struct JgreDefender {
     monitor: Rc<JgrMonitor>,
     config: DefenderConfig,
+    /// Per-victim end time of the last completed pass, for alarm
+    /// hysteresis.
+    last_pass: RefCell<BTreeMap<Pid, SimTime>>,
 }
 
 impl JgreDefender {
-    /// Installs the defense on a device: registers the runtime monitor on
-    /// every current and future process and turns on the Binder driver's
-    /// IPC recording (the Figure 10 overhead).
-    pub fn install(system: &mut System, config: DefenderConfig) -> Self {
+    /// Installs the defense on a device: validates the configuration,
+    /// registers the runtime monitor on every current and future process,
+    /// shares the device's fault layer with the monitor, and turns on the
+    /// Binder driver's IPC recording (the Figure 10 overhead).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DefenseError`] from [`DefenderConfig::validate`].
+    pub fn install(system: &mut System, config: DefenderConfig) -> Result<Self, DefenseError> {
+        config.validate()?;
         let monitor = Rc::new(JgrMonitor::new(
             config.record_threshold,
             config.trigger_threshold,
-        ));
+        )?);
+        monitor.set_fault_layer(system.faults().clone());
         system.register_jgr_observer(monitor.clone());
         system.driver_mut().set_defense_recording(true);
-        Self { monitor, config }
+        Ok(Self {
+            monitor,
+            config,
+            last_pass: RefCell::new(BTreeMap::new()),
+        })
     }
 
     /// The shared monitor.
@@ -151,15 +350,17 @@ impl JgreDefender {
         victim: Pid,
         delta: SimDuration,
     ) -> Option<ScoreReport> {
-        let adds = self.monitor.add_times(victim);
+        let mut adds = self.monitor.add_times(victim);
         if adds.is_empty() {
             return None;
         }
+        adds.sort_unstable();
         let since = self.monitor.recording_since(victim)?;
-        let ipc = self.collect_ipc(system, victim, since);
+        let window = *self.config.windows.last()?;
+        let (ipc, _coverage) = self.collect_ipc(system, victim, since);
         let params = ScoreParams {
             delta,
-            window: *self.config.windows.last().expect("windows is non-empty"),
+            window,
             bin: self.config.bin,
         };
         Some(segment_tree_scores(&ipc, &adds, params))
@@ -170,10 +371,29 @@ impl JgreDefender {
     /// kill top-ranked apps until the victim's JGR table is back to
     /// normal. Advances the virtual clock by the modeled computation
     /// time.
+    ///
+    /// Under fault injection the pass degrades instead of failing:
+    ///
+    /// 1. low IPC-log coverage (sequence-number gaps) switches scoring to
+    ///    the coarse per-UID call-count ranking;
+    /// 2. unsorted JGR timestamps are sorted before scoring;
+    /// 3. failed kills are retried with exponential backoff;
+    /// 4. a victim that finished a pass is left alone for
+    ///    [`DefenderConfig::cooldown`] (alarm hysteresis);
+    /// 5. whatever reduced confidence is reported in
+    ///    [`DetectionOutcome::Degraded`].
     pub fn poll(&self, system: &mut System) -> Option<DetectionOutcome> {
-        let victim = self.monitor.alarmed_pids().into_iter().next()?;
-        let detected_at = system.now();
-        let adds = self.monitor.add_times(victim);
+        let now = system.now();
+        let victim = self.monitor.alarmed_pids().into_iter().find(|pid| {
+            self.last_pass
+                .borrow()
+                .get(pid)
+                .is_none_or(|&last| now.saturating_since(last) >= self.config.cooldown)
+        })?;
+        let detected_at = now;
+        let mut causes: Vec<DegradationCause> = Vec::new();
+
+        let mut adds = self.monitor.add_times(victim);
         let since = match self.monitor.recording_since(victim) {
             Some(t) if !adds.is_empty() => t,
             _ => {
@@ -181,76 +401,147 @@ impl JgreDefender {
                 return None;
             }
         };
-        let ipc = self.collect_ipc(system, victim, since);
+        // Ground-truth cross-check: a dead victim has nothing to recover.
+        if system.jgr_count(victim).is_none() {
+            self.monitor.reset(victim);
+            return None;
+        }
+        if !adds.windows(2).all(|w| w[0] <= w[1]) {
+            adds.sort_unstable();
+            causes.push(DegradationCause::UnsortedJgrTimestamps);
+        }
+        let (ipc, coverage) = self.collect_ipc(system, victim, since);
 
-        // Escalating-window correlation.
         let mut rounds = 0usize;
         let mut pairs_processed = 0u64;
         let mut records_scanned = 0u64;
         let mut response_us = 0u64;
-        let mut report: Option<ScoreReport> = None;
-        for window in &self.config.windows {
-            rounds += 1;
-            let r = segment_tree_scores(
-                &ipc,
-                &adds,
-                ScoreParams {
-                    delta: self.config.delta,
-                    window: *window,
-                    bin: self.config.bin,
-                },
-            );
-            pairs_processed += r.pairs_processed;
-            records_scanned += r.records_scanned;
-            // Modeled on-device cost of this round. The dominant term is
-            // the per-add candidate scan, linear in the correlation window
-            // (each JGR add searches `window` worth of the IPC log), with
-            // smaller terms for log parsing and histogram updates. With
-            // the paper's 8000-add recording span, the first window costs
-            // ≈0.5 s; escalation doubles the window each round, which is
-            // how the midi/sip/print trio lands above one second and
-            // `registerDeviceServer` near 3.6 s (§V-D.1).
-            let window_factor = (window.as_micros()).max(1) as f64
-                / self.config.windows[0].as_micros().max(1) as f64;
-            response_us += (adds.len() as f64 * 62.0 * window_factor) as u64
-                + r.records_scanned * 3
-                + r.pairs_processed * 2;
-            let confident = r
-                .top()
-                .is_some_and(|t| t.score as f64 >= self.config.confidence * adds.len() as f64);
-            report = Some(r);
-            if confident {
-                break;
+        let scoring;
+        let report;
+        if coverage < self.config.coverage_floor {
+            // Correlation watchdog: too many records are missing for the
+            // timing histogram to mean anything — Algorithm 1 would score
+            // whichever app happened to keep its records. Fall back to
+            // volume ranking (the §V-A strawman: crude, but it degrades
+            // predictably and we *say so*).
+            causes.push(DegradationCause::LowIpcCoverage {
+                observed: coverage,
+                floor: self.config.coverage_floor,
+            });
+            scoring = ScoringKind::CallCount;
+            rounds = 1;
+            let r = call_count_scores(&ipc);
+            records_scanned = r.records_scanned;
+            // One linear pass over the log; no pair matching, no
+            // histogram.
+            response_us += r.records_scanned;
+            report = r;
+        } else {
+            scoring = ScoringKind::SegmentTree;
+            // Escalating-window correlation.
+            let mut last = None;
+            for window in &self.config.windows {
+                rounds += 1;
+                let r = segment_tree_scores(
+                    &ipc,
+                    &adds,
+                    ScoreParams {
+                        delta: self.config.delta,
+                        window: *window,
+                        bin: self.config.bin,
+                    },
+                );
+                pairs_processed += r.pairs_processed;
+                records_scanned += r.records_scanned;
+                // Modeled on-device cost of this round. The dominant term is
+                // the per-add candidate scan, linear in the correlation window
+                // (each JGR add searches `window` worth of the IPC log), with
+                // smaller terms for log parsing and histogram updates. With
+                // the paper's 8000-add recording span, the first window costs
+                // ≈0.5 s; escalation doubles the window each round, which is
+                // how the midi/sip/print trio lands above one second and
+                // `registerDeviceServer` near 3.6 s (§V-D.1).
+                let window_factor = (window.as_micros()).max(1) as f64
+                    / self.config.windows[0].as_micros().max(1) as f64;
+                response_us += (adds.len() as f64 * 62.0 * window_factor) as u64
+                    + r.records_scanned * 3
+                    + r.pairs_processed * 2;
+                let confident = r
+                    .top()
+                    .is_some_and(|t| t.score as f64 >= self.config.confidence * adds.len() as f64);
+                last = Some(r);
+                if confident {
+                    break;
+                }
             }
+            report = last?;
         }
-        let report = report.expect("at least one window is configured");
-        let response_delay = SimDuration::from_micros(response_us);
-        system.clock().advance(response_delay);
+        // The scoring cost lands on the clock before recovery begins, so
+        // kill timestamps (and any respawns) happen after the analysis
+        // delay — same ordering the paper's on-device defender has.
+        system
+            .clock()
+            .advance(SimDuration::from_micros(response_us));
 
-        // Recovery: kill by rank until the table is back to normal.
+        // Recovery: kill by rank until the table is back to normal, with
+        // bounded retry-with-backoff when a kill fails.
         let mut killed = Vec::new();
-        for s in &report.scores {
+        'candidates: for s in &report.scores {
             if killed.len() >= self.config.max_kills || s.score == 0 || !s.uid.is_app() {
                 continue;
             }
             match system.jgr_count(victim) {
                 Some(count) if count >= self.config.normal_level => {
-                    system.kill_app(s.uid);
-                    // am force-stop costs a few tens of ms.
-                    system.clock().advance(SimDuration::from_millis(30));
-                    killed.push(s.uid);
+                    let mut attempts = 0u32;
+                    loop {
+                        attempts += 1;
+                        match system.kill_app(s.uid) {
+                            KillOutcome::Killed | KillOutcome::Respawned => {
+                                // am force-stop costs a few tens of ms.
+                                let cost = SimDuration::from_millis(30);
+                                system.clock().advance(cost);
+                                response_us += cost.as_micros();
+                                killed.push(s.uid);
+                                break;
+                            }
+                            KillOutcome::NotRunning => break,
+                            KillOutcome::Failed => {
+                                if attempts > self.config.kill_retries {
+                                    causes.push(DegradationCause::KillFailed {
+                                        uid: s.uid,
+                                        attempts,
+                                    });
+                                    continue 'candidates;
+                                }
+                                // Exponential backoff before the retry.
+                                let backoff =
+                                    self.config.kill_backoff * (1u64 << (attempts - 1).min(16));
+                                system.clock().advance(backoff);
+                                response_us += backoff.as_micros();
+                            }
+                        }
+                    }
                 }
                 _ => break,
             }
         }
         let victim_jgr_after = system.jgr_count(victim);
+        if let Some(remaining) = victim_jgr_after {
+            if remaining >= self.config.normal_level {
+                causes.push(DegradationCause::RecoveryIncomplete { remaining });
+            }
+        }
+        let response_delay = SimDuration::from_micros(response_us);
         self.monitor.reset(victim);
+        self.last_pass.borrow_mut().insert(victim, system.now());
         // Bound the proc-file log: records older than the recovered
         // window are useless now.
         system.driver_mut().prune_log(since);
-        Some(DetectionOutcome {
+        let report = DetectionReport {
             victim,
             detected_at,
+            scoring,
+            coverage,
             scores: report.scores,
             killed,
             rounds,
@@ -258,25 +549,43 @@ impl JgreDefender {
             records_scanned,
             response_delay,
             victim_jgr_after,
+        };
+        Some(if causes.is_empty() {
+            DetectionOutcome::Full(report)
+        } else {
+            DetectionOutcome::Degraded { report, causes }
         })
     }
 
     /// Groups the driver's transaction log into the per-app, per-IPC-type
-    /// time series Algorithm 1 consumes. Only app-uid traffic addressed
-    /// to the victim within the recording horizon is considered.
+    /// time series Algorithm 1 consumes, deduplicating records by driver
+    /// sequence number (duplicate faults must not double-vote). Only
+    /// app-uid traffic addressed to the victim within the recording
+    /// horizon is scored; coverage is estimated over *all* horizon
+    /// records, because drops do not discriminate by target.
     fn collect_ipc(
         &self,
         system: &System,
         victim: Pid,
         since: SimTime,
-    ) -> BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>> {
-        let horizon = SimTime::from_micros(
-            since
-                .as_micros()
-                .saturating_sub(self.config.windows.last().expect("non-empty").as_micros()),
-        );
+    ) -> (BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>>, f64) {
+        let window = self
+            .config
+            .windows
+            .last()
+            .copied()
+            .unwrap_or(SimDuration::ZERO);
+        let horizon = SimTime::from_micros(since.as_micros().saturating_sub(window.as_micros()));
         let mut out: BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>> = BTreeMap::new();
+        let mut seen = BTreeSet::new();
+        let mut seq_lo = u64::MAX;
+        let mut seq_hi = 0u64;
         for record in system.driver().log_since(horizon) {
+            seq_lo = seq_lo.min(record.seq);
+            seq_hi = seq_hi.max(record.seq);
+            if !seen.insert(record.seq) {
+                continue;
+            }
             if record.to_pid != victim || !record.from_uid.is_app() {
                 continue;
             }
@@ -291,7 +600,50 @@ impl JgreDefender {
                 .or_default()
                 .push(record.at);
         }
-        out
+        // Delay/reorder faults can hand the series back out of order;
+        // the scorer's pairing assumes sorted times.
+        for types in out.values_mut() {
+            for series in types.values_mut() {
+                if !series.windows(2).all(|w| w[0] <= w[1]) {
+                    series.sort_unstable();
+                }
+            }
+        }
+        let coverage = if seen.is_empty() {
+            1.0
+        } else {
+            seen.len() as f64 / (seq_hi - seq_lo + 1) as f64
+        };
+        (out, coverage)
+    }
+}
+
+/// The degraded ranking: raw per-UID call volume toward the victim (the
+/// §V-A strawman, reused deliberately — when timing data is untrustworthy
+/// the honest coarse signal beats a precise hallucination).
+fn call_count_scores(ipc: &BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>>) -> ScoreReport {
+    let mut records_scanned = 0u64;
+    let mut scores: Vec<UidScore> = ipc
+        .iter()
+        .map(|(&uid, types)| {
+            let per_type: Vec<(String, u64)> = types
+                .iter()
+                .map(|(t, calls)| (t.clone(), calls.len() as u64))
+                .collect();
+            let score: u64 = per_type.iter().map(|(_, n)| n).sum();
+            records_scanned += score;
+            UidScore {
+                uid,
+                score,
+                per_type,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| b.score.cmp(&a.score).then(a.uid.cmp(&b.uid)));
+    ScoreReport {
+        scores,
+        pairs_processed: 0,
+        records_scanned,
     }
 }
 
@@ -299,28 +651,41 @@ impl JgreDefender {
 mod tests {
     use super::*;
     use jgre_framework::{CallOptions, SystemConfig};
+    use jgre_sim::{FaultIntensity, FaultKind, FaultPlan};
 
     fn defended_system(cap: usize) -> (System, JgreDefender) {
+        defended_system_with(cap, FaultPlan::none(), DefenderConfig::default())
+    }
+
+    fn defended_system_with(
+        cap: usize,
+        faults: FaultPlan,
+        base: DefenderConfig,
+    ) -> (System, JgreDefender) {
         let mut system = System::boot_with(SystemConfig {
             seed: 7,
             jgr_capacity: Some(cap),
+            faults,
             ..SystemConfig::default()
         });
         let config = DefenderConfig {
             record_threshold: cap / 12,
             trigger_threshold: cap / 4,
             normal_level: cap / 10,
-            ..DefenderConfig::default()
+            ..base
         };
-        let defender = JgreDefender::install(&mut system, config);
+        let defender =
+            JgreDefender::install(&mut system, config).expect("defender config is valid");
         (system, defender)
     }
 
-    #[test]
-    fn detection_render_is_informative() {
-        let (mut system, defender) = defended_system(4_000);
-        let evil = system.install_app("com.evil", []);
-        let d = loop {
+    fn attack_until_detection(
+        system: &mut System,
+        defender: &JgreDefender,
+        evil: Uid,
+        budget: usize,
+    ) -> DetectionOutcome {
+        for _ in 0..budget {
             system
                 .call_service(
                     evil,
@@ -329,13 +694,43 @@ mod tests {
                     CallOptions::default(),
                 )
                 .unwrap();
-            if let Some(d) = defender.poll(&mut system) {
-                break d;
+            if let Some(d) = defender.poll(system) {
+                return d;
             }
+        }
+        panic!("attack must trip the alarm within {budget} calls");
+    }
+
+    #[test]
+    fn config_validation_rejects_nonsense() {
+        let mut system = System::boot(7);
+        let bad = DefenderConfig {
+            windows: vec![],
+            ..DefenderConfig::default()
         };
+        assert_eq!(
+            JgreDefender::install(&mut system, bad).err(),
+            Some(DefenseError::NoWindows)
+        );
+        let bad = DefenderConfig {
+            coverage_floor: 1.5,
+            ..DefenderConfig::default()
+        };
+        assert!(matches!(
+            JgreDefender::install(&mut system, bad).err(),
+            Some(DefenseError::InvalidCoverageFloor(_))
+        ));
+    }
+
+    #[test]
+    fn detection_render_is_informative() {
+        let (mut system, defender) = defended_system(4_000);
+        let evil = system.install_app("com.evil", []);
+        let d = attack_until_detection(&mut system, &defender, evil, 8_000);
         let text = d.render();
         assert!(text.contains("correlation round"), "{text}");
         assert!(text.contains("killed [Uid(10000)]"), "{text}");
+        assert!(!text.contains("DEGRADED"), "{text}");
     }
 
     #[test]
@@ -376,6 +771,9 @@ mod tests {
             }
         }
         let d = detection.expect("attack must trip the alarm");
+        assert!(!d.is_degraded(), "pristine run must be full confidence");
+        assert_eq!(d.scoring, ScoringKind::SegmentTree);
+        assert!((d.coverage - 1.0).abs() < 1e-9, "pristine log is complete");
         assert_eq!(d.killed, vec![evil]);
         assert_eq!(system.soft_reboots(), 0);
         assert!(d.victim_jgr_after.unwrap() < defender.config().normal_level);
@@ -443,7 +841,8 @@ mod tests {
             seed: 7,
             ..SystemConfig::default()
         });
-        let defender = JgreDefender::install(&mut system, DefenderConfig::default());
+        let defender = JgreDefender::install(&mut system, DefenderConfig::default())
+            .expect("defender config is valid");
         let evil = system.install_app("com.evil", []);
         let mut detection = None;
         for _ in 0..6_000 {
@@ -484,5 +883,107 @@ mod tests {
         let fast = fast.expect("second alarm");
         assert_eq!(fast.rounds, 1);
         assert!(fast.response_delay < d.response_delay);
+    }
+
+    #[test]
+    fn severe_record_loss_falls_back_to_call_counts() {
+        let (mut system, defender) = defended_system_with(
+            4_000,
+            FaultPlan::single(FaultKind::IpcDrop, FaultIntensity::Severe),
+            DefenderConfig::default(),
+        );
+        let evil = system.install_app("com.evil", []);
+        let d = attack_until_detection(&mut system, &defender, evil, 8_000);
+        assert!(d.is_degraded());
+        assert_eq!(d.scoring, ScoringKind::CallCount);
+        assert!(
+            d.coverage < defender.config().coverage_floor,
+            "{}",
+            d.coverage
+        );
+        assert!(d
+            .causes()
+            .iter()
+            .any(|c| matches!(c, DegradationCause::LowIpcCoverage { .. })));
+        // The sole heavy caller still tops the coarse ranking.
+        assert_eq!(d.killed, vec![evil]);
+        assert!(d.render().contains("DEGRADED"), "{}", d.render());
+    }
+
+    #[test]
+    fn unkillable_app_reported_not_looped_forever() {
+        let plan = FaultPlan {
+            kill_fail: 1.0,
+            ..FaultPlan::none()
+        };
+        let (mut system, defender) = defended_system_with(4_000, plan, DefenderConfig::default());
+        let evil = system.install_app("com.evil", []);
+        let d = attack_until_detection(&mut system, &defender, evil, 8_000);
+        assert!(d.is_degraded());
+        assert!(d.killed.is_empty(), "nothing actually died");
+        let retries = defender.config().kill_retries;
+        assert!(d.causes().iter().any(|c| matches!(
+            c,
+            DegradationCause::KillFailed { uid, attempts }
+                if *uid == evil && *attempts == retries + 1
+        )));
+        assert!(d
+            .causes()
+            .iter()
+            .any(|c| matches!(c, DegradationCause::RecoveryIncomplete { .. })));
+        // Retry backoff is part of the modeled response time.
+        assert!(d.response_delay >= SimDuration::from_millis(70));
+    }
+
+    #[test]
+    fn one_transient_kill_failure_recovers_cleanly() {
+        // The issue's headline moderate case: the first force-stop fails,
+        // the retry lands, recovery completes.
+        let plan = FaultPlan {
+            kill_fail: 1.0,
+            kill_fail_budget: 1,
+            ..FaultPlan::none()
+        };
+        let (mut system, defender) = defended_system_with(4_000, plan, DefenderConfig::default());
+        let evil = system.install_app("com.evil", []);
+        let d = attack_until_detection(&mut system, &defender, evil, 8_000);
+        assert_eq!(d.killed, vec![evil]);
+        assert!(
+            d.victim_jgr_after.unwrap() < defender.config().normal_level,
+            "table drains once the retry lands"
+        );
+        assert!(!d.is_degraded(), "a recovered retry is not a degradation");
+    }
+
+    #[test]
+    fn cooldown_suppresses_back_to_back_passes() {
+        let plan = FaultPlan {
+            kill_fail: 1.0,
+            ..FaultPlan::none()
+        };
+        let config = DefenderConfig {
+            cooldown: SimDuration::from_secs(3_600),
+            ..DefenderConfig::default()
+        };
+        let (mut system, defender) = defended_system_with(4_000, plan, config);
+        let evil = system.install_app("com.evil", []);
+        let first = attack_until_detection(&mut system, &defender, evil, 8_000);
+        assert!(first.killed.is_empty(), "the app is unkillable");
+        // The table is still saturated; the very next event re-raises the
+        // alarm, but the victim is in cooldown: no second kill storm.
+        for _ in 0..50 {
+            system
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+            assert!(
+                defender.poll(&mut system).is_none(),
+                "cooldown must suppress an immediate second pass"
+            );
+        }
     }
 }

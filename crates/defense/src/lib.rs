@@ -20,6 +20,12 @@
 //!    level, mirroring the LMK contract that any app may be killed to
 //!    reclaim exhausted resources.
 //!
+//! Under fault injection ([`jgre_sim::FaultLayer`]) the pipeline degrades
+//! instead of failing: low IPC-log coverage switches scoring to the coarse
+//! call-count ranking, failed kills are retried with backoff, and every
+//! reduction in confidence is reported as a typed
+//! [`DegradationCause`] inside [`DetectionOutcome::Degraded`].
+//!
 //! # Example
 //!
 //! ```
@@ -37,17 +43,23 @@
 //!     normal_level: 300,
 //!     ..DefenderConfig::default()
 //! };
-//! let defender = JgreDefender::install(&mut system, config);
+//! let defender = JgreDefender::install(&mut system, config).unwrap();
 //! assert!(defender.poll(&mut system).is_none(), "quiet system, no alarm");
 //! ```
 
+#![deny(missing_docs)]
+
 mod defender;
+mod error;
 mod monitor;
 mod naive_defense;
 mod scorer;
 mod segment_tree;
 
-pub use defender::{DefenderConfig, DetectionOutcome, JgreDefender};
+pub use defender::{
+    DefenderConfig, DegradationCause, DetectionOutcome, DetectionReport, JgreDefender, ScoringKind,
+};
+pub use error::DefenseError;
 pub use monitor::JgrMonitor;
 pub use naive_defense::{CallCountDefense, CallCountDetection};
 pub use scorer::{naive_scores, segment_tree_scores, ScoreParams, ScoreReport, UidScore};

@@ -4,7 +4,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 
 use jgre_art::{JgrEvent, JgrEventKind, JgrObserver};
-use jgre_sim::{Pid, SimTime};
+use jgre_sim::{apply_skew, FaultLayer, JgrLogAction, Pid, SimTime};
+
+use crate::DefenseError;
 
 #[derive(Debug, Default)]
 struct WatchState {
@@ -20,6 +22,7 @@ struct Inner {
     record_threshold: usize,
     trigger_threshold: usize,
     watches: BTreeMap<Pid, WatchState>,
+    faults: Option<FaultLayer>,
 }
 
 /// Observes JGR traffic on every runtime it is registered with.
@@ -29,6 +32,11 @@ struct Inner {
 /// once a process crosses it, event timestamps are recorded; crossing the
 /// trigger threshold raises the alarm the defender polls for.
 ///
+/// Under fault injection the *timestamp log* can be truncated or
+/// corrupted, but the table-size tracking (and therefore the alarm) stays
+/// accurate — the runtime always knows how many entries it holds, it is
+/// only the event journal that is lossy.
+///
 /// # Example
 ///
 /// ```
@@ -37,7 +45,7 @@ struct Inner {
 /// use jgre_framework::{System, SystemConfig};
 ///
 /// let mut system = System::boot(0);
-/// let monitor = Rc::new(JgrMonitor::new(4_000, 12_000));
+/// let monitor = Rc::new(JgrMonitor::new(4_000, 12_000).unwrap());
 /// system.register_jgr_observer(monitor.clone());
 /// assert!(monitor.alarmed_pids().is_empty());
 /// ```
@@ -49,26 +57,38 @@ pub struct JgrMonitor {
 impl JgrMonitor {
     /// Creates a monitor with the given thresholds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics unless `record_threshold < trigger_threshold`.
-    pub fn new(record_threshold: usize, trigger_threshold: usize) -> Self {
-        assert!(
-            record_threshold < trigger_threshold,
-            "recording must begin before the alarm"
-        );
-        Self {
+    /// [`DefenseError::InvalidThresholds`] unless
+    /// `record_threshold < trigger_threshold`.
+    pub fn new(record_threshold: usize, trigger_threshold: usize) -> Result<Self, DefenseError> {
+        if record_threshold >= trigger_threshold {
+            return Err(DefenseError::InvalidThresholds {
+                record: record_threshold,
+                trigger: trigger_threshold,
+            });
+        }
+        Ok(Self {
             inner: RefCell::new(Inner {
                 record_threshold,
                 trigger_threshold,
                 watches: BTreeMap::new(),
+                faults: None,
             }),
-        }
+        })
     }
 
     /// Convenience: a monitor with the paper's 4000/12000 thresholds.
     pub fn with_paper_thresholds() -> Self {
         Self::new(crate::RECORD_THRESHOLD, crate::TRIGGER_THRESHOLD)
+            .expect("the paper's 4000 < 12000 thresholds are statically valid")
+    }
+
+    /// Routes this monitor's event journal through a fault layer (the
+    /// truncate/corrupt channels). Installed by the defender so the
+    /// monitor shares the device's fault stream.
+    pub fn set_fault_layer(&self, faults: FaultLayer) {
+        self.inner.borrow_mut().faults = Some(faults);
     }
 
     /// Pids whose alarm is raised.
@@ -93,7 +113,9 @@ impl JgrMonitor {
     }
 
     /// Recorded add timestamps for `pid` (empty below the record
-    /// threshold).
+    /// threshold). Under corruption faults these are not guaranteed to be
+    /// sorted; consumers that need order must sort (and should report the
+    /// degradation).
     pub fn add_times(&self, pid: Pid) -> Vec<SimTime> {
         self.inner
             .borrow()
@@ -141,15 +163,28 @@ impl JgrObserver for JgrMonitor {
         let mut inner = self.inner.borrow_mut();
         let record_threshold = inner.record_threshold;
         let trigger_threshold = inner.trigger_threshold;
+        // Decide the journal fate up front (one immutable borrow of the
+        // shared layer); table-size tracking below never consults it.
+        let journal = match inner.faults.as_ref().filter(|f| f.is_active()) {
+            Some(f) => f.jgr_log_action(),
+            None => JgrLogAction::Record,
+        };
         let watch = inner.watches.entry(event.pid).or_default();
         watch.current = event.table_size_after;
         if watch.current >= record_threshold {
             if watch.recording_since.is_none() {
                 watch.recording_since = Some(event.at);
             }
-            match event.kind {
-                JgrEventKind::Add => watch.add_times.push(event.at),
-                JgrEventKind::Remove => watch.remove_times.push(event.at),
+            let logged_at = match journal {
+                JgrLogAction::Record => Some(event.at),
+                JgrLogAction::Lose => None,
+                JgrLogAction::CorruptBy(skew) => Some(apply_skew(event.at, skew)),
+            };
+            if let Some(at) = logged_at {
+                match event.kind {
+                    JgrEventKind::Add => watch.add_times.push(at),
+                    JgrEventKind::Remove => watch.remove_times.push(at),
+                }
             }
         } else if watch.recording_since.is_some() && !watch.alarmed {
             // The table drained on its own (benign churn): stop recording
@@ -167,7 +202,7 @@ impl JgrObserver for JgrMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use jgre_sim::SimTime;
+    use jgre_sim::{FaultIntensity, FaultKind, FaultPlan, SimTime};
 
     fn event(pid: u32, at: u64, kind: JgrEventKind, size: usize) -> JgrEvent {
         JgrEvent {
@@ -178,9 +213,13 @@ mod tests {
         }
     }
 
+    fn monitor(record: usize, trigger: usize) -> JgrMonitor {
+        JgrMonitor::new(record, trigger).expect("test thresholds are valid")
+    }
+
     #[test]
     fn records_only_above_threshold() {
-        let m = JgrMonitor::new(10, 20);
+        let m = monitor(10, 20);
         for i in 1..=9 {
             m.on_jgr_event(event(1, i, JgrEventKind::Add, i as usize));
         }
@@ -193,7 +232,7 @@ mod tests {
 
     #[test]
     fn alarm_raises_at_trigger() {
-        let m = JgrMonitor::new(5, 8);
+        let m = monitor(5, 8);
         for i in 1..=8 {
             m.on_jgr_event(event(2, i, JgrEventKind::Add, i as usize));
         }
@@ -203,7 +242,7 @@ mod tests {
 
     #[test]
     fn benign_drain_stops_recording() {
-        let m = JgrMonitor::new(5, 100);
+        let m = monitor(5, 100);
         for i in 1..=6 {
             m.on_jgr_event(event(1, i, JgrEventKind::Add, i as usize));
         }
@@ -216,7 +255,7 @@ mod tests {
 
     #[test]
     fn reset_clears_alarm_and_buffers() {
-        let m = JgrMonitor::new(2, 4);
+        let m = monitor(2, 4);
         for i in 1..=4 {
             m.on_jgr_event(event(3, i, JgrEventKind::Add, i as usize));
         }
@@ -230,8 +269,49 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "recording must begin before the alarm")]
-    fn thresholds_validated() {
-        let _ = JgrMonitor::new(10, 10);
+    fn thresholds_validated_as_typed_error() {
+        assert_eq!(
+            JgrMonitor::new(10, 10).err(),
+            Some(DefenseError::InvalidThresholds {
+                record: 10,
+                trigger: 10
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_loses_timestamps_but_never_the_alarm() {
+        let m = monitor(2, 50);
+        m.set_fault_layer(FaultLayer::new(
+            FaultPlan::single(FaultKind::JgrTruncate, FaultIntensity::Severe),
+            11,
+        ));
+        for i in 1..=60 {
+            m.on_jgr_event(event(4, i, JgrEventKind::Add, i as usize));
+        }
+        let recorded = m.add_times(Pid::new(4)).len();
+        assert!(recorded < 59, "severe truncation must lose timestamps");
+        assert!(recorded > 0, "severe truncation is not total loss");
+        // The alarm rides on table_size_after, which faults cannot touch.
+        assert_eq!(m.alarmed_pids(), vec![Pid::new(4)]);
+        assert_eq!(m.current_count(Pid::new(4)), 60);
+    }
+
+    #[test]
+    fn corruption_can_unsort_the_journal() {
+        let m = monitor(2, 1_000);
+        m.set_fault_layer(FaultLayer::new(
+            FaultPlan::single(FaultKind::JgrCorrupt, FaultIntensity::Severe),
+            13,
+        ));
+        for i in 0..200u64 {
+            m.on_jgr_event(event(5, 10_000 + i * 10, JgrEventKind::Add, 2 + i as usize));
+        }
+        let times = m.add_times(Pid::new(5));
+        assert_eq!(times.len(), 200, "corruption keeps every event");
+        assert!(
+            times.windows(2).any(|w| w[0] > w[1]),
+            "±5 ms skew on 10 µs spacing must unsort somewhere"
+        );
     }
 }

@@ -16,7 +16,7 @@ use jgre_framework::System;
 use jgre_sim::{Pid, SimDuration, SimTime, Uid};
 use serde::{Deserialize, Serialize};
 
-use crate::JgrMonitor;
+use crate::{DefenseError, JgrMonitor};
 
 /// Outcome of one call-count detection pass.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -40,20 +40,26 @@ pub struct CallCountDefense {
 impl CallCountDefense {
     /// Installs the strawman: same thresholds and monitor wiring as the
     /// real defender.
+    ///
+    /// # Errors
+    ///
+    /// [`DefenseError::InvalidThresholds`] unless
+    /// `record_threshold < trigger_threshold`.
     pub fn install(
         system: &mut System,
         record_threshold: usize,
         trigger_threshold: usize,
         normal_level: usize,
-    ) -> Self {
-        let monitor = Rc::new(JgrMonitor::new(record_threshold, trigger_threshold));
+    ) -> Result<Self, DefenseError> {
+        let monitor = Rc::new(JgrMonitor::new(record_threshold, trigger_threshold)?);
+        monitor.set_fault_layer(system.faults().clone());
         system.register_jgr_observer(monitor.clone());
         system.driver_mut().set_defense_recording(true);
-        Self {
+        Ok(Self {
             monitor,
             normal_level,
             max_kills: 8,
-        }
+        })
     }
 
     /// The shared monitor.
@@ -85,9 +91,12 @@ impl CallCountDefense {
             }
             match system.jgr_count(victim) {
                 Some(count) if count >= self.normal_level => {
-                    system.kill_app(uid);
-                    system.clock().advance(SimDuration::from_millis(30));
-                    killed.push(uid);
+                    // The strawman has no retry logic: a failed or absent
+                    // kill is simply skipped (one more way it is naive).
+                    if system.kill_app(uid).released_entries() {
+                        system.clock().advance(SimDuration::from_millis(30));
+                        killed.push(uid);
+                    }
                 }
                 _ => break,
             }
@@ -118,7 +127,8 @@ mod tests {
             jgr_capacity: Some(3_200),
             ..SystemConfig::default()
         });
-        let defense = CallCountDefense::install(&mut system, 250, 750, 150);
+        let defense = CallCountDefense::install(&mut system, 250, 750, 150)
+            .expect("strawman thresholds are valid");
         let evil = system.install_app("com.quiet.leaker", []);
         let busy = system.install_app("com.busy.innocent", []);
         let mut detection = None;

@@ -1,0 +1,150 @@
+//! Property-based recovery invariants for the hardened defender.
+//!
+//! Random fault plans at random intensities drive a full attack +
+//! bystander workload; whatever the injector does, the defender must
+//! (a) respect its kill budget, (b) never kill the benign-only app when
+//! no faults are active, and (c) either drain the table or say honestly
+//! that it could not.
+
+use jgre_defense::{DefenderConfig, DegradationCause, DetectionOutcome, JgreDefender};
+use jgre_framework::{CallOptions, System, SystemConfig};
+use jgre_sim::{FaultIntensity, FaultKind, FaultPlan, SimDuration};
+use proptest::prelude::*;
+
+const CAP: usize = 3_200;
+const NORMAL: usize = 190;
+
+fn defended(seed: u64, plan: FaultPlan) -> (System, JgreDefender) {
+    let mut system = System::boot_with(SystemConfig {
+        seed,
+        jgr_capacity: Some(CAP),
+        faults: plan,
+        ..SystemConfig::default()
+    });
+    let config = DefenderConfig {
+        record_threshold: 250,
+        trigger_threshold: 750,
+        normal_level: NORMAL,
+        cooldown: SimDuration::from_millis(100),
+        ..DefenderConfig::default()
+    };
+    let defender = JgreDefender::install(&mut system, config).expect("config is valid");
+    (system, defender)
+}
+
+/// Any subset of fault channels at any intensity.
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let intensity = prop_oneof![
+        Just(FaultIntensity::Off),
+        Just(FaultIntensity::Light),
+        Just(FaultIntensity::Moderate),
+        Just(FaultIntensity::Severe),
+    ];
+    proptest::collection::vec(intensity, FaultKind::ALL.len()).prop_map(|levels| {
+        let mut plan = FaultPlan::none();
+        for (kind, level) in FaultKind::ALL.into_iter().zip(levels) {
+            let single = FaultPlan::single(kind, level);
+            match kind {
+                FaultKind::IpcDrop => plan.ipc_drop = single.ipc_drop,
+                FaultKind::IpcDuplicate => plan.ipc_duplicate = single.ipc_duplicate,
+                FaultKind::IpcDelay => plan.ipc_delay = single.ipc_delay,
+                FaultKind::IpcReorder => plan.ipc_reorder = single.ipc_reorder,
+                FaultKind::JgrTruncate => plan.jgr_truncate = single.jgr_truncate,
+                FaultKind::JgrCorrupt => plan.jgr_corrupt = single.jgr_corrupt,
+                FaultKind::ClockJitter => plan.clock_jitter = single.clock_jitter,
+                FaultKind::KillFail => {
+                    plan.kill_fail = single.kill_fail;
+                    plan.kill_fail_budget = single.kill_fail_budget;
+                }
+                FaultKind::KillRespawn => plan.kill_respawn = single.kill_respawn,
+            }
+        }
+        plan
+    })
+}
+
+/// Runs the shared workload: one leaking attacker, one innocent
+/// bystander; returns every detection pass the defender completed.
+fn drive(system: &mut System, defender: &JgreDefender) -> (Vec<DetectionOutcome>, jgre_sim::Uid) {
+    let mal = system.install_app("com.prop.attacker", []);
+    let benign = system.install_app("com.prop.benign", []);
+    let mut outcomes = Vec::new();
+    for i in 0..(CAP as u64 * 4) {
+        let Ok(o) = system.call_service(
+            mal,
+            "clipboard",
+            "addPrimaryClipChangedListener",
+            CallOptions::default(),
+        ) else {
+            break;
+        };
+        if o.host_aborted {
+            break;
+        }
+        if i % 3 == 0 {
+            let _ = system.call_service(benign, "clipboard", "getState", CallOptions::default());
+        }
+        if let Some(d) = defender.poll(system) {
+            let done = !d.killed.is_empty();
+            outcomes.push(d);
+            if done || outcomes.len() >= 3 {
+                break;
+            }
+        }
+    }
+    (outcomes, benign)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The kill budget holds for every pass under every fault plan.
+    #[test]
+    fn never_exceeds_max_kills(seed in 0u64..1_000, plan in plan_strategy()) {
+        let (mut system, defender) = defended(seed, plan);
+        let (outcomes, _) = drive(&mut system, &defender);
+        for d in &outcomes {
+            prop_assert!(
+                d.killed.len() <= defender.config().max_kills,
+                "pass killed {} > budget {}",
+                d.killed.len(),
+                defender.config().max_kills
+            );
+        }
+    }
+
+    /// With zero fault intensity the benign-only app is never killed and
+    /// the outcome carries full confidence.
+    #[test]
+    fn benign_safe_at_zero_intensity(seed in 0u64..1_000) {
+        let (mut system, defender) = defended(seed, FaultPlan::none());
+        let (outcomes, benign) = drive(&mut system, &defender);
+        prop_assert!(!outcomes.is_empty(), "the leak must be detected");
+        for d in &outcomes {
+            prop_assert!(!d.killed.contains(&benign), "benign app killed: {:?}", d.killed);
+            prop_assert!(!d.is_degraded(), "zero intensity must be full confidence");
+        }
+    }
+
+    /// Every pass either drains the victim's table below the normal level
+    /// or admits it did not (Degraded with RecoveryIncomplete / a dead
+    /// victim) — silent failure is the one forbidden outcome.
+    #[test]
+    fn drains_or_reports_honestly(seed in 0u64..1_000, plan in plan_strategy()) {
+        let (mut system, defender) = defended(seed, plan);
+        let (outcomes, _) = drive(&mut system, &defender);
+        for d in &outcomes {
+            match d.victim_jgr_after {
+                Some(after) if after >= NORMAL => prop_assert!(
+                    d.causes().iter().any(|c| matches!(
+                        c,
+                        DegradationCause::RecoveryIncomplete { remaining } if *remaining == after
+                    )),
+                    "table at {after} but no RecoveryIncomplete cause: {:?}",
+                    d.causes()
+                ),
+                _ => {}
+            }
+        }
+    }
+}

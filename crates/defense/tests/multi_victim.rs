@@ -24,7 +24,8 @@ fn defender_resolves_alarms_on_two_victims() {
             normal_level: 150,
             ..DefenderConfig::default()
         },
-    );
+    )
+    .expect("defender config is valid");
     let spec = AospSpec::android_6_0_1();
     let clip = AttackVector::service_vectors(&spec)
         .into_iter()

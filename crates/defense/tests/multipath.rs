@@ -36,7 +36,8 @@ fn system() -> System {
 /// fires and returns (attacker score, benign score) at Δ = 1.8 ms.
 fn run_scenario(classify_paths: bool, paths: u8) -> (u64, u64) {
     let mut system = system();
-    let defender = JgreDefender::install(&mut system, quick_config(classify_paths));
+    let defender = JgreDefender::install(&mut system, quick_config(classify_paths))
+        .expect("defender config is valid");
     let spec = AospSpec::android_6_0_1();
     let vector = AttackVector::service_vectors(&spec)
         .into_iter()
@@ -109,7 +110,8 @@ fn path_classification_restores_the_score() {
 #[test]
 fn classified_defender_kills_the_multipath_attacker() {
     let mut system = system();
-    let defender = JgreDefender::install(&mut system, quick_config(true));
+    let defender =
+        JgreDefender::install(&mut system, quick_config(true)).expect("defender config is valid");
     let spec = AospSpec::android_6_0_1();
     let vector = AttackVector::service_vectors(&spec)
         .into_iter()

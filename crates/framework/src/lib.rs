@@ -46,7 +46,9 @@ pub use lmk::{
     select_lmk_victim, LmkCandidate, LmkConfig, OOM_SCORE_BACKGROUND, OOM_SCORE_FOREGROUND,
 };
 pub use process::{Process, ProcessTable};
-pub use system::{CallOptions, CallOutcome, CallStatus, ServiceInfo, System, SystemConfig};
+pub use system::{
+    CallOptions, CallOutcome, CallStatus, KillOutcome, ServiceInfo, System, SystemConfig,
+};
 
 /// Number of processes running on the stock image before any third-party
 /// app is installed (Figure 4 reports 382).

@@ -10,7 +10,9 @@ use jgre_binder::{
 use jgre_corpus::spec::{
     AospSpec, Flaw, JgrBehavior, MethodSpec, Permission, Protection, ProtectionLevel,
 };
-use jgre_sim::{Pid, SimClock, SimDuration, SimRng, SimTime, Tid, TraceSink, Uid};
+use jgre_sim::{
+    FaultLayer, FaultPlan, Pid, SimClock, SimDuration, SimRng, SimTime, Tid, TraceSink, Uid,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::{
@@ -36,6 +38,33 @@ pub struct SystemConfig {
     /// entries on an otherwise idle device; tests that assert exact
     /// attack-attributable counts leave this at 0.
     pub stock_jgr: usize,
+    /// Fault-injection plan for the chaos experiments. The default
+    /// ([`FaultPlan::none`]) consumes no randomness, so faultless runs are
+    /// byte-identical to builds that predate the fault layer.
+    pub faults: FaultPlan,
+}
+
+/// What actually happened when the framework was asked to kill an app —
+/// under fault injection, `am force-stop` is no longer guaranteed to work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KillOutcome {
+    /// The process died and its retained JGR entries were released.
+    Killed,
+    /// The app had no live process; nothing to do.
+    NotRunning,
+    /// An injected fault made the kill fail: the process (and every JGR
+    /// entry it pins) survives.
+    Failed,
+    /// The kill landed and its entries were released, but the app
+    /// immediately respawned with a fresh (empty) process.
+    Respawned,
+}
+
+impl KillOutcome {
+    /// Whether the victim's retained JGR entries were actually released.
+    pub fn released_entries(self) -> bool {
+        matches!(self, KillOutcome::Killed | KillOutcome::Respawned)
+    }
 }
 
 /// How a call is issued.
@@ -163,6 +192,7 @@ pub struct System {
     config: SystemConfig,
     soft_reboots: u32,
     jgr_observers: Vec<Rc<dyn JgrObserver>>,
+    faults: FaultLayer,
 }
 
 impl std::fmt::Debug for System {
@@ -194,7 +224,12 @@ impl System {
             TraceSink::disabled()
         };
         let spec = AospSpec::android_6_0_1();
-        let driver = BinderDriver::new(clock.clone(), trace.clone());
+        let mut driver = BinderDriver::new(clock.clone(), trace.clone());
+        // The fault layer draws from its own stream (decorrelated from the
+        // workload RNG inside FaultLayer::new) so enabling faults never
+        // shifts benign call timings.
+        let faults = FaultLayer::new(config.faults, config.seed);
+        driver.set_fault_layer(faults.clone());
         let mut system = Self {
             rng: SimRng::seed(config.seed),
             clock: clock.clone(),
@@ -211,6 +246,7 @@ impl System {
             config,
             soft_reboots: 0,
             jgr_observers: Vec::new(),
+            faults,
         };
         system.start_system_server();
         system.start_prebuilt_services();
@@ -351,6 +387,13 @@ impl System {
     /// The trace sink (enabled only when `SystemConfig::tracing`).
     pub fn trace(&self) -> &TraceSink {
         &self.trace
+    }
+
+    /// The fault layer the device was booted with (inactive by default).
+    /// The defense monitor shares this handle so IPC-log and JGR-log
+    /// faults come from one reproducible stream.
+    pub fn faults(&self) -> &FaultLayer {
+        &self.faults
     }
 
     /// The Binder driver — the defense reads its transaction log.
@@ -534,7 +577,11 @@ impl System {
                 Some(victim) => {
                     let uid = self.processes.get(victim).map(|p| p.uid);
                     if let Some(victim_uid) = uid {
-                        self.kill_app(victim_uid);
+                        // LMK is a kernel SIGKILL: infallible even under
+                        // fault injection, so this loop always drains.
+                        self.force_kill_app(victim_uid);
+                    } else {
+                        break;
                     }
                 }
                 None => break,
@@ -563,19 +610,90 @@ impl System {
                 p.oom_score_adj = OOM_SCORE_BACKGROUND;
             }
         }
-        self.apps.get_mut(&uid).expect("checked above").pid = Some(pid);
+        self.apps
+            .get_mut(&uid)
+            .ok_or(FrameworkError::UnknownApp)?
+            .pid = Some(pid);
         Ok(pid)
     }
 
-    /// Kills an app's process (LMK eviction or the defender's
-    /// `am force-stop`): its binder nodes die, every service releases the
-    /// entries it retained for the app, and each affected host runs a GC so
-    /// the JGR entries actually return — *"when one process is terminated,
-    /// its corresponding JGR entries will be released"*.
-    pub fn kill_app(&mut self, uid: Uid) {
+    /// Kills an app's process the way the defender does (`am force-stop`):
+    /// its binder nodes die, every service releases the entries it
+    /// retained for the app, and each affected host runs a GC so the JGR
+    /// entries actually return — *"when one process is terminated, its
+    /// corresponding JGR entries will be released"*.
+    ///
+    /// Under fault injection the kill may [fail](KillOutcome::Failed) or
+    /// the app may [respawn](KillOutcome::Respawned); callers that must
+    /// reclaim the entries have to check the outcome and retry.
+    pub fn kill_app(&mut self, uid: Uid) -> KillOutcome {
         let Some(pid) = self.apps.get(&uid).and_then(|a| a.pid) else {
+            return KillOutcome::NotRunning;
+        };
+        if self.faults.kill_fails() {
+            self.trace.record(
+                self.clock.now(),
+                Some(pid),
+                Some(uid),
+                "system.kill_failed",
+                "injected fault: force-stop did not land",
+            );
+            return KillOutcome::Failed;
+        }
+        self.kill_pid(uid, pid);
+        if self.faults.kill_respawns() {
+            self.respawn_app(uid);
+            self.trace.record(
+                self.clock.now(),
+                None,
+                Some(uid),
+                "system.kill_respawned",
+                "injected fault: killed app restarted",
+            );
+            return KillOutcome::Respawned;
+        }
+        KillOutcome::Killed
+    }
+
+    /// The kernel path (LMK / uninstall): a SIGKILL that cannot fail and
+    /// after which nothing restarts the app. Fault injection only models
+    /// `am force-stop` flakiness, so this stays infallible — which also
+    /// keeps the LMK eviction loop in [`launch_app`](Self::launch_app)
+    /// guaranteed to terminate.
+    fn force_kill_app(&mut self, uid: Uid) {
+        if let Some(pid) = self.apps.get(&uid).and_then(|a| a.pid) {
+            self.kill_pid(uid, pid);
+        }
+    }
+
+    /// Respawns a just-killed app as a fresh background process (sticky
+    /// services / sync adapters bringing it straight back).
+    fn respawn_app(&mut self, uid: Uid) {
+        let Some(package) = self.apps.get(&uid).map(|a| a.package.clone()) else {
             return;
         };
+        let pid = self.processes.spawn(uid, &package, OOM_SCORE_BACKGROUND);
+        if let Some(cap) = self.make_runtime_capacity() {
+            if let Some(p) = self.processes.get_mut(pid) {
+                p.runtime = jgre_art::Runtime::with_global_capacity(
+                    pid,
+                    self.clock.clone(),
+                    self.trace.clone(),
+                    cap,
+                );
+            }
+        }
+        for obs in &self.jgr_observers {
+            if let Some(p) = self.processes.get_mut(pid) {
+                p.runtime.register_observer(obs.clone());
+            }
+        }
+        if let Some(app) = self.apps.get_mut(&uid) {
+            app.pid = Some(pid);
+        }
+    }
+
+    fn kill_pid(&mut self, uid: Uid, pid: Pid) {
         self.processes.kill(pid);
         let _notifications = self.driver.kill_process(pid);
         if let Some(app) = self.apps.get_mut(&uid) {
@@ -586,7 +704,7 @@ impl System {
         for svc in self.services.values_mut() {
             for state in svc.per_method.values_mut() {
                 if let Some(entries) = state.retained.remove(&pid) {
-                    state.total_retained -= entries.len();
+                    state.total_retained = state.total_retained.saturating_sub(entries.len());
                     if let Some(host) = self.processes.get_mut(svc.host) {
                         for rb in entries {
                             // The proxy may already be stale after a host
@@ -632,9 +750,11 @@ impl System {
 
     /// Uninstalls an app: kills its process (releasing every JGR entry it
     /// pinned, as [`kill_app`](Self::kill_app) does) and removes the
-    /// installation record; the uid is never reused.
+    /// installation record; the uid is never reused. Uninstall uses the
+    /// kernel kill path, so injected `am force-stop` faults cannot leave a
+    /// ghost process behind.
     pub fn uninstall_app(&mut self, uid: Uid) {
-        self.kill_app(uid);
+        self.force_kill_app(uid);
         self.apps.remove(&uid);
     }
 
@@ -771,7 +891,10 @@ impl System {
 
         // 6. Server-side per-process limit (Table III).
         let total_retained = {
-            let svc = self.services.get_mut(service).expect("resolved above");
+            let svc = self
+                .services
+                .get_mut(service)
+                .ok_or_else(|| FrameworkError::UnknownService(service.to_owned()))?;
             let state = svc.per_method.entry(method.to_owned()).or_default();
             state.calls += 1;
             state.total_retained
@@ -779,7 +902,10 @@ impl System {
         if let Protection::PerProcessLimit { limit, flaw } = &mspec.protection {
             let spoofed = *flaw == Some(Flaw::SystemPackageSpoof) && package == "android";
             if !spoofed {
-                let svc = self.services.get(service).expect("resolved above");
+                let svc = self
+                    .services
+                    .get(service)
+                    .ok_or_else(|| FrameworkError::UnknownService(service.to_owned()))?;
                 let count = svc
                     .per_method
                     .get(method)
@@ -875,9 +1001,12 @@ impl System {
                     match p.runtime.add_global(obj) {
                         Ok(iref) => {
                             jgr_created += 1;
-                            p.runtime
-                                .delete_global(iref)
-                                .expect("just added on a live runtime");
+                            if p.runtime.delete_global(iref).is_err() {
+                                // Losing the paired delete on an aborting
+                                // runtime is survivable; the table dies
+                                // with the process anyway.
+                                host_aborted = true;
+                            }
                         }
                         Err(ArtError::TableOverflow { .. }) | Err(ArtError::RuntimeAborted) => {
                             host_aborted = true;
@@ -965,8 +1094,16 @@ impl System {
             .ok_or(ArtError::RuntimeAborted)?;
         let rb = materialize_strong_binder(&mut p.runtime, node)?;
         p.runtime.retain(rb.proxy)?;
-        let svc = self.services.get_mut(service).expect("resolved by caller");
-        let state = svc.per_method.get_mut(method).expect("created by caller");
+        // The service can only vanish mid-call if the host aborted, in
+        // which case the retained entry dies with it — dropping the
+        // bookkeeping is the graceful path, not a panic.
+        let Some(state) = self
+            .services
+            .get_mut(service)
+            .and_then(|svc| svc.per_method.get_mut(method))
+        else {
+            return Ok(());
+        };
         state.retained.entry(caller_pid).or_default().push(rb);
         state.total_retained += 1;
         Ok(())
@@ -996,8 +1133,13 @@ impl System {
         let node = jgre_binder::NodeId::new(0);
         let rb = materialize_strong_binder(&mut p.runtime, node)?;
         p.runtime.retain(rb.proxy)?;
-        let svc = self.services.get_mut(service).expect("resolved by caller");
-        let state = svc.per_method.get_mut(method).expect("created by caller");
+        let Some(state) = self
+            .services
+            .get_mut(service)
+            .and_then(|svc| svc.per_method.get_mut(method))
+        else {
+            return Ok(());
+        };
         if let Some(prev) = state.single.insert(caller_pid, rb) {
             // The replaced member's proxy becomes collectable.
             let _ = p.runtime.release(prev.proxy);
@@ -1440,6 +1582,101 @@ mod tests {
             5,
             "only the benign app's entries remain"
         );
+    }
+
+    #[test]
+    fn kill_outcomes_reflect_injected_faults() {
+        use jgre_sim::{FaultIntensity, FaultKind};
+        let mut system = System::boot_with(SystemConfig {
+            seed: 1,
+            faults: FaultPlan::single(FaultKind::KillFail, FaultIntensity::Moderate),
+            ..SystemConfig::default()
+        });
+        let app = system.install_app("com.sticky", []);
+        for _ in 0..10 {
+            system
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+        }
+        // Moderate kill-fail = exactly one budgeted failure, then kills work.
+        assert_eq!(system.kill_app(app), KillOutcome::Failed);
+        assert_eq!(
+            system.system_server_jgr_count(),
+            10,
+            "failed kill reclaims nothing"
+        );
+        assert_eq!(system.kill_app(app), KillOutcome::Killed);
+        assert_eq!(system.system_server_jgr_count(), 0);
+        assert_eq!(system.kill_app(app), KillOutcome::NotRunning);
+    }
+
+    #[test]
+    fn respawned_apps_come_back_empty() {
+        use jgre_sim::{FaultIntensity, FaultKind};
+        let mut system = System::boot_with(SystemConfig {
+            seed: 1,
+            faults: FaultPlan::single(FaultKind::KillRespawn, FaultIntensity::Severe),
+            ..SystemConfig::default()
+        });
+        let app = system.install_app("com.sticky", []);
+        for _ in 0..10 {
+            system
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+        }
+        let old_pid = system.pid_of(app).unwrap();
+        let mut respawned = false;
+        for _ in 0..8 {
+            match system.kill_app(app) {
+                KillOutcome::Respawned => {
+                    respawned = true;
+                    break;
+                }
+                KillOutcome::Killed => {
+                    system.launch_app(app).unwrap();
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(respawned, "severe respawn plan must fire within 8 kills");
+        // The entries died with the old process; the respawn is fresh.
+        assert_eq!(system.system_server_jgr_count(), 0);
+        let new_pid = system.pid_of(app).expect("respawned process is live");
+        assert_ne!(new_pid, old_pid);
+    }
+
+    #[test]
+    fn uninstall_wins_even_when_force_stop_faults() {
+        use jgre_sim::{FaultIntensity, FaultKind};
+        let mut system = System::boot_with(SystemConfig {
+            seed: 1,
+            faults: FaultPlan::single(FaultKind::KillFail, FaultIntensity::Severe),
+            ..SystemConfig::default()
+        });
+        let app = system.install_app("com.gone", []);
+        for _ in 0..5 {
+            system
+                .call_service(
+                    app,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+        }
+        system.uninstall_app(app);
+        assert_eq!(system.system_server_jgr_count(), 0);
+        assert!(system.package_of(app).is_none());
     }
 
     #[test]

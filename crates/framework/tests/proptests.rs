@@ -85,7 +85,9 @@ proptest! {
                         Err(e) => return Err(TestCaseError::fail(format!("{svc}.{method}: {e}"))),
                     }
                 }
-                Op::Kill { app } => system.kill_app(apps[app % apps.len()]),
+                Op::Kill { app } => {
+                    system.kill_app(apps[app % apps.len()]);
+                }
                 Op::Gc => {
                     let ss = system.system_server_pid();
                     system.gc_process(ss);

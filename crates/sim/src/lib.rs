@@ -14,6 +14,8 @@
 //!   the Binder, framework, and defense crates.
 //! * [`TraceSink`] — an in-memory, bounded trace of labelled events used by
 //!   experiments for post-hoc analysis.
+//! * [`FaultLayer`] — a seeded, deterministic fault injector used by the
+//!   chaos experiments to break the defender's assumptions on purpose.
 //!
 //! # Example
 //!
@@ -28,8 +30,11 @@
 //! assert_eq!(t.as_micros(), 1_000);
 //! ```
 
+#![deny(missing_docs)]
+
 mod clock;
 mod event;
+mod fault;
 mod ids;
 mod rng;
 mod stats;
@@ -37,6 +42,10 @@ mod trace;
 
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use event::EventQueue;
+pub use fault::{
+    apply_skew, FaultIntensity, FaultKind, FaultLayer, FaultPlan, FaultStats, IpcLogAction,
+    JgrLogAction,
+};
 pub use ids::{Pid, Tid, Uid};
 pub use rng::SimRng;
 pub use stats::{Samples, Summary};

@@ -26,7 +26,8 @@ fn main() {
             normal_level: 300,
             ..DefenderConfig::default()
         },
-    );
+    )
+    .expect("defender config is valid");
 
     let spec = AospSpec::android_6_0_1();
     let targets = [

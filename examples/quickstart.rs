@@ -70,7 +70,8 @@ fn main() {
             ..DefenderConfig::default()
         }
     };
-    let defender = JgreDefender::install(&mut system, defender_config);
+    let defender =
+        JgreDefender::install(&mut system, defender_config).expect("defender config is valid");
     let mal = system.install_app(
         "com.evil.app",
         [jgre_core::corpus::spec::Permission::WakeLock],

@@ -36,6 +36,10 @@ COMMANDS:
   lint         dataflow leak analysis as SARIF 2.1.0, each finding backed
                by a checkable IPC-entry-to-IRT::Add witness path
                (--json prints the raw lint report instead)
+  chaos        robustness matrix — seeded fault injection (drop/duplicate/
+               delay/reorder IPC records, truncate/corrupt the JGR journal,
+               clock jitter, failed/respawning kills) against the hardened
+               defender; exits nonzero on any recovery-invariant violation
 
 OPTIONS:
   --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
@@ -48,12 +52,20 @@ OPTIONS:
                the affected call-graph cone
   --threads N  (lint) worker threads for the per-wave SCC fan-out
                (default 1; results are identical for every N)
+  --fault K    (chaos) restrict the matrix to one fault kind: ipc-drop,
+               ipc-duplicate, ipc-delay, ipc-reorder, jgr-truncate,
+               jgr-corrupt, clock-jitter, kill-fail, kill-respawn
+               (default: all; fault-free baselines always run)
+  --out PATH   (chaos) write the matrix as JSON to PATH and the rendered
+               table next to it as PATH with a .txt extension
 ";
 
 struct Options {
     scale: ExperimentScale,
     json: bool,
     analysis: jgre_analysis::AnalysisOptions,
+    fault: Option<jgre_core::sim::FaultKind>,
+    out: Option<std::path::PathBuf>,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -157,6 +169,27 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
                 report.stats.methods, report.stats.cache_hits, report.stats.cache_misses
             );
         }
+        "chaos" => {
+            let matrix = experiments::chaos_matrix(scale, options.fault);
+            let json = serde_json::to_string_pretty(&matrix).expect("chaos matrix serialises");
+            let rendered = matrix.render();
+            if let Some(path) = &options.out {
+                // Same bytes as the bench harness's write_artifact, so the
+                // CLI and the bench regenerate identical golden files.
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let txt = path.with_extension("txt");
+                std::fs::write(&txt, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", txt.display()))?;
+            }
+            emit(options, &matrix, rendered);
+            if matrix.violations > 0 {
+                return Err(format!(
+                    "chaos matrix: {} recovery-invariant violation(s)",
+                    matrix.violations
+                ));
+            }
+        }
         "all" => {
             for cmd in [
                 "headline", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4",
@@ -176,6 +209,8 @@ fn main() -> ExitCode {
     let mut scale = ExperimentScale::quick();
     let mut json = false;
     let mut analysis = jgre_analysis::AnalysisOptions::default();
+    let mut fault = None;
+    let mut out = None;
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -203,6 +238,27 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--fault" => match iter.next().map(String::as_str) {
+                Some("all") => fault = None,
+                Some(name) => match jgre_core::sim::FaultKind::parse(name) {
+                    Some(kind) => fault = Some(kind),
+                    None => {
+                        eprintln!("unknown fault kind: {name}\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("--fault needs a kind (or 'all')\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" => match iter.next() {
+                Some(path) => out = Some(path.into()),
+                None => {
+                    eprintln!("--out needs a path\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -226,6 +282,8 @@ fn main() -> ExitCode {
             scale,
             json,
             analysis,
+            fault,
+            out,
         },
     ) {
         Ok(()) => ExitCode::SUCCESS,

@@ -219,3 +219,105 @@ fn seed_flag_is_parsed() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--seed needs a number"));
 }
+
+#[test]
+fn chaos_matrix_runs_clean_and_is_seed_deterministic() {
+    let run = |extra: &[&str]| {
+        let mut cmd = jgre();
+        cmd.args(["chaos", "--seed", "0", "--json"]).args(extra);
+        let out = cmd.output().expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let a = run(&[]);
+    let b = run(&[]);
+    assert_eq!(a, b, "same seed must be byte-identical");
+    let threaded = run(&["--threads", "2"]);
+    assert_eq!(a, threaded, "thread count must not change the matrix");
+
+    let parsed: serde_json::Value = serde_json::from_slice(&a).expect("valid JSON");
+    assert_eq!(parsed["seed"], 0);
+    assert_eq!(parsed["violations"], 0);
+    // 2 attacks × (1 baseline + 9 kinds × 3 intensities).
+    assert_eq!(parsed["cells"].as_array().map(|c| c.len()), Some(56));
+
+    let other_seed = jgre()
+        .args(["chaos", "--seed", "7", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(other_seed.status.success());
+    assert_ne!(a, other_seed.stdout, "a different seed changes the run");
+}
+
+#[test]
+fn chaos_fault_flag_selects_one_channel() {
+    let out = jgre()
+        .args(["chaos", "--seed", "0", "--fault", "kill-fail", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let parsed: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    // 2 attacks × (1 baseline + 1 kind × 3 intensities).
+    let cells = parsed["cells"].as_array().expect("cells array");
+    assert_eq!(cells.len(), 8);
+    assert!(cells
+        .iter()
+        .all(|c| c["fault"] == "none" || c["fault"] == "kill-fail"));
+
+    let bad = jgre()
+        .args(["chaos", "--fault", "gamma-rays"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success(), "unknown fault kind must be rejected");
+}
+
+#[test]
+fn chaos_out_writes_json_and_text_artifacts() {
+    let dir = std::env::temp_dir().join(format!("jgre-chaos-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("matrix.json");
+    let out = jgre()
+        .args(["chaos", "--seed", "0", "--fault", "ipc-drop"])
+        .arg("--out")
+        .arg(&json_path)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = std::fs::read_to_string(&json_path).expect("JSON artifact written");
+    let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+    assert_eq!(parsed["violations"], 0);
+    let txt = std::fs::read_to_string(dir.join("matrix.txt")).expect("text artifact written");
+    assert!(txt.contains("Chaos matrix — seed 0"), "{txt}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn committed_chaos_golden_matches_a_fresh_run() {
+    let out = jgre()
+        .args(["chaos", "--seed", "0", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let golden_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("artifacts")
+        .join("chaos_matrix.json");
+    let golden = std::fs::read_to_string(golden_path).expect("golden artifact committed");
+    assert_eq!(
+        String::from_utf8_lossy(&out.stdout).trim_end(),
+        golden.trim_end(),
+        "artifacts/chaos_matrix.json is stale; regenerate with \
+         `jgre chaos --seed 0 --out artifacts/chaos_matrix.json`"
+    );
+}

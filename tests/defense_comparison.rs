@@ -59,7 +59,8 @@ fn step(s: &mut Scenario) {
 fn jgre_defender_kills_the_leaker_where_the_strawman_fails() {
     // Strawman first.
     let mut s = scenario();
-    let strawman = CallCountDefense::install(&mut s.system, 250, 750, 150);
+    let strawman = CallCountDefense::install(&mut s.system, 250, 750, 150)
+        .expect("strawman thresholds are valid");
     let strawman_killed = loop {
         step(&mut s);
         if let Some(d) = strawman.poll(&mut s.system) {
@@ -82,7 +83,8 @@ fn jgre_defender_kills_the_leaker_where_the_strawman_fails() {
             normal_level: 150,
             ..DefenderConfig::default()
         },
-    );
+    )
+    .expect("defender config is valid");
     let detection = loop {
         step(&mut s);
         if let Some(d) = defender.poll(&mut s.system) {

@@ -74,7 +74,8 @@ fn defense_works_at_multiple_scales() {
                 .unwrap_or_else(|| panic!("{pick} has a vector"));
             let mut system = System::boot_with(s.system_config());
             let defender =
-                jgre_repro::core::defense::JgreDefender::install(&mut system, s.defender_config());
+                jgre_repro::core::defense::JgreDefender::install(&mut system, s.defender_config())
+                    .expect("defender config is valid");
             let run = experiments::run_defended_attack(
                 &mut system,
                 &defender,

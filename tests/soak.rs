@@ -13,7 +13,8 @@ use jgre_repro::core::ExperimentScale;
 fn one_device_survives_a_full_attack_campaign() {
     let scale = ExperimentScale::quick();
     let mut system = System::boot_with(scale.system_config());
-    let defender = JgreDefender::install(&mut system, scale.defender_config());
+    let defender = JgreDefender::install(&mut system, scale.defender_config())
+        .expect("defender config is valid");
     let spec = AospSpec::android_6_0_1();
 
     let mut detections = 0usize;
@@ -70,7 +71,8 @@ fn defender_tolerates_a_victim_dying_before_recovery() {
     // alarm is pending; poll must handle the dead victim gracefully.
     let scale = ExperimentScale::quick();
     let mut system = System::boot_with(scale.system_config());
-    let defender = JgreDefender::install(&mut system, scale.defender_config());
+    let defender = JgreDefender::install(&mut system, scale.defender_config())
+        .expect("defender config is valid");
     let mal = system.install_app("com.evil", []);
     // Drive the PicoTts app service to abort WITHOUT polling the defender.
     loop {
