@@ -93,9 +93,16 @@ impl ObserverRegistry {
         Self::default()
     }
 
-    /// Adds an observer; it stays registered for the runtime's lifetime.
+    /// Adds an observer; it stays registered until the runtime dies or
+    /// [`clear`](Self::clear) is called.
     pub fn register(&mut self, observer: Rc<dyn JgrObserver>) {
         self.observers.push(observer);
+    }
+
+    /// Drops every registered observer (a monitoring process died; its
+    /// successor re-registers after recovery).
+    pub fn clear(&mut self) {
+        self.observers.clear();
     }
 
     /// Number of registered observers.

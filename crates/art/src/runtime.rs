@@ -152,6 +152,11 @@ impl Runtime {
         self.observers.register(observer);
     }
 
+    /// Drops every registered observer (the observing process died).
+    pub fn clear_observers(&mut self) {
+        self.observers.clear();
+    }
+
     /// Live size of the global reference table — the quantity plotted on
     /// the Y axis of the paper's Figures 3 and 4.
     pub fn global_count(&self) -> usize {

@@ -24,7 +24,7 @@ fn generate_artifacts() {
         "recovery invariants must hold:\n{}",
         m.render()
     );
-    assert_eq!(m.cells.len(), 56);
+    assert_eq!(m.cells.len(), 62);
     assert!(
         m.cells
             .iter()

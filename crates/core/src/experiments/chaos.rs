@@ -14,16 +14,24 @@
 //!   attacker still dies;
 //! * a pass that leaves the table saturated must say so
 //!   ([`DetectionOutcome::Degraded`]) — silent failure is itself a
-//!   violation.
+//!   violation;
+//! * the defender process itself is mortal: every cell runs the
+//!   crash-consistent harness (journal + checkpoint + supervised
+//!   restarts), and the `defender-crash` channel kills it mid-pass; at or
+//!   below moderate intensity it must recover and still converge, and
+//!   the supervisor must never exhaust its restart budget.
 //!
 //! Everything is a pure function of `(seed, matrix shape)`: two runs with
 //! the same seed produce byte-identical JSON.
 
 use std::fmt::Write as _;
+use std::rc::Rc;
 
 use jgre_attack::AttackVector;
 use jgre_corpus::spec::AospSpec;
-use jgre_defense::{DetectionOutcome, JgreDefender, ScoringKind};
+use jgre_defense::{
+    CrashConsistentConfig, CrashConsistentDefender, DetectionOutcome, MemoryStore, ScoringKind,
+};
 use jgre_framework::{CallOptions, System, SystemConfig};
 use jgre_sim::{FaultIntensity, FaultKind, FaultPlan, SimDuration};
 use serde::{Deserialize, Serialize};
@@ -76,6 +84,16 @@ pub struct ChaosCell {
     pub calls_issued: u64,
     /// Fault events the injector actually fired.
     pub fault_events: u64,
+    /// Times the defender process crashed (the `defender-crash` channel).
+    pub defender_crashes: u64,
+    /// Times the supervisor restarted it.
+    pub defender_restarts: u64,
+    /// Whether the supervisor exhausted its restart budget.
+    pub defender_gave_up: bool,
+    /// Journal records replayed across all recoveries.
+    pub replayed_records: u64,
+    /// Virtual time spent crashed (backoff + replay), µs.
+    pub recovery_delay_us: u64,
     /// Recovery invariants this cell broke (empty = healthy).
     pub violations: Vec<String>,
 }
@@ -110,7 +128,7 @@ impl ChaosMatrix {
             "attack", "fault", "intensity", "det", "kill", "cover"
         );
         for c in &self.cells {
-            let outcome = if !c.violations.is_empty() {
+            let mut outcome = if !c.violations.is_empty() {
                 format!("VIOLATION: {}", c.violations.join("; "))
             } else if c.degraded {
                 format!("degraded ({})", c.causes.join("; "))
@@ -119,6 +137,18 @@ impl ChaosMatrix {
             } else {
                 "no detection".to_owned()
             };
+            if c.defender_crashes > 0 {
+                let _ = write!(
+                    outcome,
+                    " [defender crashed ×{}, {}]",
+                    c.defender_crashes,
+                    if c.defender_gave_up {
+                        "gave up".to_owned()
+                    } else {
+                        format!("recovered in {} µs", c.recovery_delay_us)
+                    }
+                );
+            }
             let _ = writeln!(
                 out,
                 "{:<42} {:<14} {:<9} {:>4} {:>5} {:>6}  {}",
@@ -167,6 +197,28 @@ pub fn chaos_matrix(scale: ExperimentScale, only_fault: Option<FaultKind>) -> Ch
     }
 }
 
+/// The cell identifiers (`attack/fault/intensity`) the matrix would run,
+/// in run order, without running anything (`jgre chaos --list-cells`).
+pub fn chaos_cell_ids(only_fault: Option<FaultKind>) -> Vec<String> {
+    let mut ids = Vec::new();
+    for (service, method) in CHAOS_ATTACKS {
+        ids.push(format!("{service}.{method}/none/off"));
+        for kind in FaultKind::ALL {
+            if only_fault.is_some_and(|f| f != kind) {
+                continue;
+            }
+            for intensity in FaultIntensity::ACTIVE {
+                ids.push(format!(
+                    "{service}.{method}/{}/{}",
+                    kind.name(),
+                    intensity.name()
+                ));
+            }
+        }
+    }
+    ids
+}
+
 /// The defender configuration the chaos cells run with: the scale's
 /// thresholds plus alarm hysteresis, so an unkillable attacker cannot
 /// drive a kill storm while the cell keeps calling.
@@ -199,8 +251,19 @@ fn run_cell(
         faults: plan,
         ..scale.with_seed(cell_seed).system_config()
     });
-    let defender = JgreDefender::install(&mut system, chaos_defender_config(scale))
-        .expect("chaos defender config is valid");
+    // Every cell runs the crash-consistent harness (journal + checkpoint
+    // + supervised restarts). With the crash channel quiet this is
+    // byte-identical in timing and RNG consumption to the raw defender;
+    // with it active, the cell gains the crash dimension.
+    let mut defender = CrashConsistentDefender::install(
+        &mut system,
+        CrashConsistentConfig {
+            defender: chaos_defender_config(scale),
+            ..CrashConsistentConfig::default()
+        },
+        Rc::new(MemoryStore::new()),
+    )
+    .expect("chaos defender config is valid");
     let mal = system.install_app("com.chaos.attacker", vector.permissions.iter().copied());
     let benign = system.install_app("com.chaos.benign", []);
 
@@ -236,10 +299,18 @@ fn run_cell(
                 break;
             }
         }
+        // A crash can swallow the very pass that killed the attacker
+        // (the outcome dies with the process); the ground truth is the
+        // process table.
+        if system.pid_of(mal).is_none() {
+            break;
+        }
     }
 
+    let recovery = defender.stats();
     let first = outcomes.first();
-    let attacker_killed = outcomes.iter().any(|d| d.killed.contains(&mal));
+    let attacker_killed = outcomes.iter().any(|d| d.killed.contains(&mal))
+        || (calls_issued > 0 && system.pid_of(mal).is_none());
     let benign_killed = outcomes.iter().any(|d| d.killed.contains(&benign));
     let max_kills_per_pass = outcomes.iter().map(|d| d.killed.len()).max().unwrap_or(0);
     let victim_jgr_after = outcomes.last().and_then(|d| d.victim_jgr_after);
@@ -261,6 +332,18 @@ fn run_cell(
     let at_most_moderate = intensity <= FaultIntensity::Moderate;
     if benign_killed && at_most_moderate {
         violations.push("benign app killed at ≤ moderate intensity".to_owned());
+    }
+    if recovery.gave_up && at_most_moderate {
+        violations.push("supervisor gave up at ≤ moderate intensity".to_owned());
+    }
+    if kind == Some(FaultKind::DefenderCrash) && intensity != FaultIntensity::Off {
+        // The crash dimension must be exercised, not just configured.
+        if recovery.crashes == 0 {
+            violations.push("crash channel active but the defender never crashed".to_owned());
+        }
+        if recovery.crashes > 0 && recovery.truncated_bytes == 0 {
+            violations.push("crash left no torn tail for reopen to truncate".to_owned());
+        }
     }
     if at_most_moderate {
         if first.is_none() {
@@ -307,6 +390,11 @@ fn run_cell(
         passes: outcomes.len(),
         calls_issued,
         fault_events: system.faults().stats().total(),
+        defender_crashes: recovery.crashes,
+        defender_restarts: recovery.restarts,
+        defender_gave_up: recovery.gave_up,
+        replayed_records: recovery.replayed_records,
+        recovery_delay_us: recovery.recovery_delay_us,
         violations,
     }
 }
@@ -348,6 +436,46 @@ mod tests {
             m.cells.iter().any(|c| c.degraded),
             "no cell reported degradation"
         );
+    }
+
+    #[test]
+    fn defender_crash_cells_crash_and_recover() {
+        let m = chaos_matrix(ExperimentScale::quick(), Some(FaultKind::DefenderCrash));
+        let crashed: Vec<&ChaosCell> = m
+            .cells
+            .iter()
+            .filter(|c| c.fault == "defender-crash")
+            .collect();
+        assert_eq!(crashed.len(), 6, "2 attacks × 3 intensities");
+        for c in &crashed {
+            assert!(c.defender_crashes > 0, "channel must fire: {c:?}");
+            assert!(c.violations.is_empty(), "{c:?}");
+        }
+        for c in crashed.iter().filter(|c| c.intensity != "severe") {
+            assert!(c.attacker_killed, "{c:?}");
+            assert!(!c.defender_gave_up, "{c:?}");
+            assert!(c.defender_restarts > 0, "{c:?}");
+            assert!(c.recovery_delay_us > 0, "recovery is not free: {c:?}");
+        }
+    }
+
+    #[test]
+    fn cell_ids_match_the_matrix_without_running_it() {
+        let ids = chaos_cell_ids(None);
+        let m = chaos_matrix(ExperimentScale::quick(), Some(FaultKind::KillFail));
+        // Full listing: 2 attacks × (1 baseline + 10 kinds × 3 intensities).
+        assert_eq!(ids.len(), 62);
+        assert!(ids.contains(&"clipboard.addPrimaryClipChangedListener/none/off".to_owned()));
+        assert!(ids.contains(&"midi.registerDeviceServer/defender-crash/severe".to_owned()));
+        // Filtered listing lines up 1:1 with a filtered run.
+        let filtered = chaos_cell_ids(Some(FaultKind::KillFail));
+        assert_eq!(filtered.len(), m.cells.len());
+        for (id, cell) in filtered.iter().zip(&m.cells) {
+            assert_eq!(
+                id,
+                &format!("{}/{}/{}", cell.attack, cell.fault, cell.intensity)
+            );
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub use analysis::{
     Table4Row, Table5, Table5Row,
 };
 pub use baseline::{fig4, Fig4};
-pub use chaos::{chaos_matrix, ChaosCell, ChaosMatrix, CHAOS_ATTACKS};
+pub use chaos::{chaos_cell_ids, chaos_matrix, ChaosCell, ChaosMatrix, CHAOS_ATTACKS};
 pub use detection::{
     defense_effectiveness, fig8, fig9, response_delay, run_defended_attack, DefendedAttack,
     DefenseEffectiveness, Fig8, Fig8Row, Fig9, Fig9Row, ResponseDelay, ResponseDelayRow,

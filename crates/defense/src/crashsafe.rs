@@ -1,0 +1,602 @@
+//! The crash-consistent defender: WAL + checkpoint/restore + a
+//! supervised restart loop.
+//!
+//! [`CrashConsistentDefender`] wraps [`JgreDefender`] so the defender
+//! process itself may die — at any [`CrashPoint`] the fault layer's
+//! `defender-crash` channel selects — and come back with its detection
+//! state intact:
+//!
+//! 1. every monitor event and completed decision is appended to the
+//!    write-ahead [`Journal`] before the in-memory state depending on it
+//!    is considered durable;
+//! 2. every `checkpoint_interval` records (and after every completed
+//!    pass) the full state is checkpointed and the journal compacted, so
+//!    replay is bounded;
+//! 3. on a crash, a [`Supervisor`] (Android-`init` style: bounded
+//!    consecutive restarts, exponential backoff) decides whether to
+//!    restart; recovery reopens the journal (truncating the torn tail
+//!    the dying process left), restores the newest valid checkpoint, and
+//!    replays the suffix.
+//!
+//! Bookkeeping (journal appends, checkpoint writes) costs zero virtual
+//! time; only the crash itself — supervisor backoff plus replay —
+//! advances the clock. A run whose crash channel never fires is
+//! therefore byte-identical to one driven by the raw [`JgreDefender`].
+//!
+//! [`CrashPoint`]: jgre_sim::CrashPoint
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jgre_framework::{Supervisor, SupervisorConfig, System};
+use jgre_sim::{CrashPoint, Pid, SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+use crate::checkpoint::{
+    config_fingerprint, decode_checkpoint, encode_checkpoint, DefenderCheckpoint,
+};
+use crate::journal::{Journal, JournalRecord, PersistError, StateStore};
+use crate::{DefenderConfig, DetectionOutcome, JgrMonitor, JgreDefender};
+
+/// Tuning for the crash-consistent harness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrashConsistentConfig {
+    /// The wrapped defender's configuration.
+    pub defender: DefenderConfig,
+    /// Restart policy.
+    pub supervisor: SupervisorConfig,
+    /// Journal records between periodic checkpoints — the replay bound.
+    pub checkpoint_interval: u64,
+    /// Modeled on-device cost of re-applying one journal record during
+    /// recovery (the paper measures ~1 µs per monitored event; replay is
+    /// a touch heavier for deserialize + apply).
+    pub replay_cost: SimDuration,
+}
+
+impl Default for CrashConsistentConfig {
+    fn default() -> Self {
+        Self {
+            defender: DefenderConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            checkpoint_interval: 512,
+            replay_cost: SimDuration::from_micros(2),
+        }
+    }
+}
+
+/// Counters describing how rough the defender's life has been.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryStats {
+    /// Times the defender process died.
+    pub crashes: u64,
+    /// Times the supervisor restarted it.
+    pub restarts: u64,
+    /// Whether the supervisor hit its restart budget and stopped trying.
+    pub gave_up: bool,
+    /// Journal records re-applied across all recoveries.
+    pub replayed_records: u64,
+    /// Torn/corrupt journal bytes dropped on reopen.
+    pub truncated_bytes: u64,
+    /// Checkpoints successfully written.
+    pub checkpoints_written: u64,
+    /// Checkpoints rejected on recovery (bad checksum, stale schema,
+    /// config mismatch) — recovery fell back to journal-only replay.
+    pub checkpoints_rejected: u64,
+    /// Virtual time spent crashed: supervisor backoff plus replay cost.
+    pub recovery_delay_us: u64,
+    /// Backing-store failures survived (loads and checkpoint writes).
+    pub store_errors: u64,
+}
+
+/// A [`JgreDefender`] that survives its own death. See the module docs.
+#[derive(Debug)]
+pub struct CrashConsistentDefender {
+    config: CrashConsistentConfig,
+    store: Rc<dyn StateStore>,
+    journal: Rc<RefCell<Journal>>,
+    inner: Option<JgreDefender>,
+    supervisor: Supervisor,
+    stats: RecoveryStats,
+}
+
+impl CrashConsistentDefender {
+    /// Installs the defense with a fresh journal on `store` (a first
+    /// boot; any previous state on the store is discarded).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Config`] for an invalid defender configuration,
+    /// [`PersistError::Io`] if the store cannot be initialised.
+    pub fn install(
+        system: &mut System,
+        config: CrashConsistentConfig,
+        store: Rc<dyn StateStore>,
+    ) -> Result<Self, PersistError> {
+        config.defender.validate()?;
+        let journal = Rc::new(RefCell::new(Journal::create(store.clone())?));
+        let monitor = Rc::new(JgrMonitor::new(
+            config.defender.record_threshold,
+            config.defender.trigger_threshold,
+        )?);
+        monitor.set_fault_layer(system.faults().clone());
+        system.register_jgr_observer(monitor.clone());
+        system.driver_mut().set_defense_recording(true);
+        monitor.attach_journal(journal.clone());
+        let defender = JgreDefender::from_parts(monitor, config.defender.clone(), Vec::new())?;
+        defender.set_crash_channel(true);
+        let supervisor = Supervisor::new(config.supervisor);
+        Ok(Self {
+            config,
+            store,
+            journal,
+            inner: Some(defender),
+            supervisor,
+            stats: RecoveryStats::default(),
+        })
+    }
+
+    /// Resumes the defense from whatever state `store` holds (the host
+    /// process restarted): reopen the journal, restore the newest valid
+    /// checkpoint, replay the suffix.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Config`] for an invalid defender configuration,
+    /// [`PersistError::Io`] if the store cannot be read.
+    pub fn resume(
+        system: &mut System,
+        config: CrashConsistentConfig,
+        store: Rc<dyn StateStore>,
+    ) -> Result<Self, PersistError> {
+        config.defender.validate()?;
+        let supervisor = Supervisor::new(config.supervisor);
+        let journal = Rc::new(RefCell::new(Journal::detached(store.clone())));
+        let mut this = Self {
+            config,
+            store,
+            journal,
+            inner: None,
+            supervisor,
+            stats: RecoveryStats::default(),
+        };
+        this.recover(system)?;
+        Ok(this)
+    }
+
+    /// One defender tick. Polls the wrapped defender; on a crash-channel
+    /// hit, runs the crash + supervised-recovery path and returns `None`
+    /// (the pass died with the process).
+    pub fn poll(&mut self, system: &mut System) -> Option<DetectionOutcome> {
+        let result = self.inner.as_ref()?.try_poll(system);
+        match result {
+            Err(point) => {
+                self.crash(system, point);
+                None
+            }
+            Ok(Some(outcome)) => {
+                // The decision append is itself a kill boundary: the
+                // process can die with this very write in flight.
+                if system.faults().crash_at(CrashPoint::JournalAppend) {
+                    self.crash(system, CrashPoint::JournalAppend);
+                    return None;
+                }
+                self.journal.borrow_mut().append(&JournalRecord::Decision {
+                    victim: outcome.victim,
+                    completed_at: system.now(),
+                    killed: outcome.killed.clone(),
+                });
+                if system.faults().crash_at(CrashPoint::Checkpoint) {
+                    self.crash(system, CrashPoint::Checkpoint);
+                    return None;
+                }
+                self.write_checkpoint(system, 0);
+                self.supervisor.on_healthy();
+                Some(outcome)
+            }
+            Ok(None) => {
+                if self.journal.borrow().records_since_compaction()
+                    >= self.config.checkpoint_interval
+                {
+                    if system.faults().crash_at(CrashPoint::Checkpoint) {
+                        self.crash(system, CrashPoint::Checkpoint);
+                        return None;
+                    }
+                    self.write_checkpoint(system, 0);
+                }
+                self.supervisor.on_healthy();
+                None
+            }
+        }
+    }
+
+    /// The defender process dies at `point`; the supervisor decides what
+    /// happens next.
+    fn crash(&mut self, system: &mut System, _point: CrashPoint) {
+        self.stats.crashes += 1;
+        // The write in flight when the process died: a torn tail that
+        // reopen must truncate. Every crash exercises that path.
+        self.journal.borrow_mut().append_torn_frame();
+        // The dead process's observer registrations die with it.
+        system.clear_jgr_observers();
+        self.inner = None;
+        match self.supervisor.on_crash() {
+            None => {
+                self.stats.gave_up = true;
+            }
+            Some(backoff) => {
+                system.clock().advance(backoff);
+                self.stats.recovery_delay_us += backoff.as_micros();
+                self.stats.restarts += 1;
+                if self.recover(system).is_err() {
+                    self.stats.store_errors += 1;
+                    self.stats.gave_up = true;
+                }
+            }
+        }
+    }
+
+    /// Rebuilds the monitor + defender from the store: newest valid
+    /// checkpoint (if any) plus a replay of the journal suffix.
+    fn recover(&mut self, system: &mut System) -> Result<(), PersistError> {
+        let fingerprint = config_fingerprint(&self.config.defender);
+        let cp = match self.store.load_checkpoint() {
+            Ok(Some(bytes)) => match decode_checkpoint(&bytes) {
+                Ok(cp) if cp.config_fingerprint == fingerprint => Some(cp),
+                Ok(_) | Err(_) => {
+                    // Stale schema, bit rot, or a config change: the
+                    // checkpoint is untrustworthy. Journal-only recovery.
+                    self.stats.checkpoints_rejected += 1;
+                    None
+                }
+            },
+            Ok(None) => None,
+            Err(_) => {
+                self.stats.store_errors += 1;
+                None
+            }
+        };
+        let (journal, report) = Journal::reopen(self.store.clone())?;
+        self.stats.truncated_bytes += report.truncated_bytes;
+        let monitor = Rc::new(JgrMonitor::new(
+            self.config.defender.record_threshold,
+            self.config.defender.trigger_threshold,
+        )?);
+        let mut last_pass: std::collections::BTreeMap<Pid, SimTime> = Default::default();
+        let mut start_seq = 0u64;
+        if let Some(cp) = &cp {
+            monitor.restore(&cp.monitor);
+            last_pass.extend(cp.last_pass.iter().copied());
+            start_seq = cp.journal_seq;
+        }
+        let mut replayed = 0u64;
+        for (seq, record) in &report.records {
+            if *seq < start_seq {
+                continue;
+            }
+            replayed += 1;
+            match record {
+                JournalRecord::Event {
+                    pid,
+                    kind,
+                    at,
+                    logged_at,
+                    table_size,
+                } => monitor.replay_event(*pid, *kind, *at, *logged_at, *table_size),
+                JournalRecord::Decision {
+                    victim,
+                    completed_at,
+                    ..
+                } => {
+                    monitor.reset(*victim);
+                    last_pass.insert(*victim, *completed_at);
+                }
+            }
+        }
+        self.stats.replayed_records += replayed;
+        let replay_cost = self.config.replay_cost * replayed;
+        system.clock().advance(replay_cost);
+        self.stats.recovery_delay_us += replay_cost.as_micros();
+        monitor.set_fault_layer(system.faults().clone());
+        system.register_jgr_observer(monitor.clone());
+        system.driver_mut().set_defense_recording(true);
+        let defender = JgreDefender::from_parts(
+            monitor,
+            self.config.defender.clone(),
+            last_pass.into_iter().collect(),
+        )?;
+        defender.set_crash_channel(true);
+        self.journal = Rc::new(RefCell::new(journal));
+        self.inner = Some(defender);
+        // Checkpoint the rebuilt state and rebase the journal past
+        // everything applied, so the *next* crash replays from here.
+        self.write_checkpoint(system, start_seq);
+        // Live events start journaling only once replay is done, so
+        // nothing is journaled twice.
+        if let Some(inner) = &self.inner {
+            inner.monitor().attach_journal(self.journal.clone());
+        }
+        Ok(())
+    }
+
+    /// Writes a checkpoint of the current state and compacts the journal
+    /// behind it. `seq_floor` keeps the sequence monotone when the
+    /// journal itself had to be reset (bad header) while a checkpoint
+    /// from a later epoch survived.
+    fn write_checkpoint(&mut self, system: &System, seq_floor: u64) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let journal_seq = self.journal.borrow().next_seq().max(seq_floor);
+        let cp = DefenderCheckpoint {
+            journal_seq,
+            taken_at: system.now(),
+            config_fingerprint: config_fingerprint(&self.config.defender),
+            monitor: inner.monitor().snapshot(),
+            last_pass: inner.last_pass_entries(),
+        };
+        match self.store.store_checkpoint(&encode_checkpoint(&cp)) {
+            Ok(()) => {
+                self.stats.checkpoints_written += 1;
+                self.journal.borrow_mut().compact(journal_seq);
+            }
+            Err(_) => {
+                // Without a durable checkpoint the journal stays the
+                // only truth: do NOT compact.
+                self.stats.store_errors += 1;
+            }
+        }
+    }
+
+    /// Forces a checkpoint now (benchmarks).
+    pub fn checkpoint_now(&mut self, system: &System) {
+        self.write_checkpoint(system, 0);
+    }
+
+    /// The harness's lifetime counters.
+    pub fn stats(&self) -> RecoveryStats {
+        let mut stats = self.stats;
+        stats.gave_up = stats.gave_up || self.supervisor.gave_up();
+        stats
+    }
+
+    /// The restart policy's state.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
+    }
+
+    /// The wrapped defender, while it is alive.
+    pub fn defender(&self) -> Option<&JgreDefender> {
+        self.inner.as_ref()
+    }
+
+    /// Whether the defender process is currently alive.
+    pub fn is_running(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CrashConsistentConfig {
+        &self.config
+    }
+
+    /// Journal records since the last compaction (the next crash's
+    /// replay bound).
+    pub fn records_since_compaction(&self) -> u64 {
+        self.journal.borrow().records_since_compaction()
+    }
+
+    /// Journal append failures swallowed so far.
+    pub fn journal_append_errors(&self) -> u64 {
+        self.journal.borrow().append_errors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemoryStore;
+    use jgre_framework::{CallOptions, SystemConfig};
+    use jgre_sim::{FaultPlan, Uid};
+
+    const CAP: usize = 4_000;
+
+    fn scaled_config() -> CrashConsistentConfig {
+        CrashConsistentConfig {
+            defender: DefenderConfig {
+                record_threshold: CAP / 12,
+                trigger_threshold: CAP / 4,
+                normal_level: CAP / 10,
+                ..DefenderConfig::default()
+            },
+            checkpoint_interval: 64,
+            ..CrashConsistentConfig::default()
+        }
+    }
+
+    fn boot(faults: FaultPlan) -> System {
+        System::boot_with(SystemConfig {
+            seed: 7,
+            jgr_capacity: Some(CAP),
+            faults,
+            ..SystemConfig::default()
+        })
+    }
+
+    fn attack_until_detection(
+        system: &mut System,
+        defender: &mut CrashConsistentDefender,
+        evil: Uid,
+        budget: usize,
+    ) -> Option<DetectionOutcome> {
+        for _ in 0..budget {
+            system
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+            if let Some(d) = defender.poll(system) {
+                return Some(d);
+            }
+            // A missing pid means the kill landed but the outcome died
+            // with the process.
+            system.pid_of(evil)?;
+        }
+        panic!("attack must trip the alarm within {budget} calls");
+    }
+
+    #[test]
+    fn no_crash_channel_means_no_crashes_and_a_clean_detection() {
+        let mut system = boot(FaultPlan::none());
+        let store = Rc::new(MemoryStore::new());
+        let mut defender =
+            CrashConsistentDefender::install(&mut system, scaled_config(), store).unwrap();
+        let evil = system.install_app("com.evil", []);
+        let d = attack_until_detection(&mut system, &mut defender, evil, 8_000)
+            .expect("no crash channel: the outcome is delivered");
+        assert_eq!(d.killed, vec![evil]);
+        let stats = defender.stats();
+        assert_eq!(stats.crashes, 0);
+        assert!(!stats.gave_up);
+        assert!(stats.checkpoints_written >= 1, "decision checkpoint");
+    }
+
+    #[test]
+    fn crash_at_poll_start_recovers_and_still_kills_the_attacker() {
+        let plan = FaultPlan {
+            crash: 1.0,
+            crash_budget: 1,
+            crash_point: Some(CrashPoint::PollStart),
+            ..FaultPlan::none()
+        };
+        let mut system = boot(plan);
+        let store = Rc::new(MemoryStore::new());
+        let mut defender =
+            CrashConsistentDefender::install(&mut system, scaled_config(), store).unwrap();
+        let evil = system.install_app("com.evil", []);
+        attack_until_detection(&mut system, &mut defender, evil, 8_000);
+        assert!(system.pid_of(evil).is_none(), "attacker still dies");
+        let stats = defender.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert!(!stats.gave_up);
+        assert!(stats.truncated_bytes > 0, "every crash leaves a torn tail");
+        assert!(stats.recovery_delay_us > 0);
+        assert!(defender.is_running());
+    }
+
+    #[test]
+    fn zero_restart_budget_gives_up_permanently() {
+        let plan = FaultPlan {
+            crash: 1.0,
+            crash_budget: 1,
+            crash_point: Some(CrashPoint::PollStart),
+            ..FaultPlan::none()
+        };
+        let mut system = boot(plan);
+        let store = Rc::new(MemoryStore::new());
+        let config = CrashConsistentConfig {
+            supervisor: SupervisorConfig {
+                max_restarts: 0,
+                ..SupervisorConfig::default()
+            },
+            ..scaled_config()
+        };
+        let mut defender = CrashConsistentDefender::install(&mut system, config, store).unwrap();
+        let evil = system.install_app("com.evil", []);
+        for _ in 0..6_000 {
+            system
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+            assert!(defender.poll(&mut system).is_none());
+        }
+        let stats = defender.stats();
+        assert!(stats.gave_up);
+        assert_eq!(stats.crashes, 1, "a dead defender cannot crash again");
+        assert_eq!(stats.restarts, 0);
+        assert!(!defender.is_running());
+        assert!(system.pid_of(evil).is_some(), "nobody left to kill it");
+    }
+
+    #[test]
+    fn resume_restores_monitor_state_across_a_host_restart() {
+        let mut system = boot(FaultPlan::none());
+        let store = Rc::new(MemoryStore::new());
+        let config = scaled_config();
+        let mut defender =
+            CrashConsistentDefender::install(&mut system, config.clone(), store.clone()).unwrap();
+        let evil = system.install_app("com.evil", []);
+        // Push past the record threshold but stay below the trigger.
+        for _ in 0..600 {
+            system
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+            assert!(defender.poll(&mut system).is_none());
+        }
+        let live = defender
+            .defender()
+            .unwrap()
+            .monitor()
+            .current_count(system.system_server_pid());
+        assert!(live > 0);
+        drop(defender);
+        system.clear_jgr_observers();
+        let mut resumed = CrashConsistentDefender::resume(&mut system, config, store).unwrap();
+        let recovered = resumed
+            .defender()
+            .unwrap()
+            .monitor()
+            .current_count(system.system_server_pid());
+        assert_eq!(recovered, live, "replay rebuilds the table size");
+        // And the resumed defender still finishes the job.
+        let d = attack_until_detection(&mut system, &mut resumed, evil, 8_000);
+        assert!(d.is_some() || system.pid_of(evil).is_none());
+    }
+
+    #[test]
+    fn periodic_checkpoints_bound_replay() {
+        let mut system = boot(FaultPlan::none());
+        let store = Rc::new(MemoryStore::new());
+        let config = scaled_config();
+        let interval = config.checkpoint_interval;
+        let mut defender =
+            CrashConsistentDefender::install(&mut system, config.clone(), store.clone()).unwrap();
+        let evil = system.install_app("com.evil", []);
+        for _ in 0..600 {
+            system
+                .call_service(
+                    evil,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .unwrap();
+            defender.poll(&mut system);
+            assert!(
+                defender.records_since_compaction() < interval + 8,
+                "compaction keeps the journal near the interval"
+            );
+        }
+        assert!(defender.stats().checkpoints_written > 1);
+        drop(defender);
+        system.clear_jgr_observers();
+        let resumed = CrashConsistentDefender::resume(&mut system, config, store).unwrap();
+        assert!(
+            resumed.stats().replayed_records <= interval + 8,
+            "replay is bounded by the checkpoint interval, got {}",
+            resumed.stats().replayed_records
+        );
+    }
+}

@@ -1,12 +1,12 @@
 //! Phase 3: the JGRE Defender service.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
 
 use jgre_framework::{KillOutcome, System};
-use jgre_sim::{Pid, SimDuration, SimTime, Uid};
+use jgre_sim::{CrashPoint, Pid, SimDuration, SimTime, Uid};
 use serde::{Deserialize, Serialize};
 
 use crate::{segment_tree_scores, DefenseError, JgrMonitor, ScoreParams, ScoreReport, UidScore};
@@ -304,6 +304,13 @@ pub struct JgreDefender {
     /// Per-victim end time of the last completed pass, for alarm
     /// hysteresis.
     last_pass: RefCell<BTreeMap<Pid, SimTime>>,
+    /// When set (only by the crash-consistent harness), [`try_poll`]
+    /// consults the fault layer's defender-crash channel at each poll /
+    /// kill boundary. Off by default: an unsupervised defender never
+    /// crashes, and never draws from the channel.
+    ///
+    /// [`try_poll`]: Self::try_poll
+    crash_channel: Cell<bool>,
 }
 
 impl JgreDefender {
@@ -328,7 +335,52 @@ impl JgreDefender {
             monitor,
             config,
             last_pass: RefCell::new(BTreeMap::new()),
+            crash_channel: Cell::new(false),
         })
+    }
+
+    /// Rebuilds a defender around an already-recovered monitor and
+    /// cooldown state (the crash-consistent harness, after replay).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DefenseError`] from [`DefenderConfig::validate`].
+    pub(crate) fn from_parts(
+        monitor: Rc<JgrMonitor>,
+        config: DefenderConfig,
+        last_pass: Vec<(Pid, SimTime)>,
+    ) -> Result<Self, DefenseError> {
+        config.validate()?;
+        Ok(Self {
+            monitor,
+            config,
+            last_pass: RefCell::new(last_pass.into_iter().collect()),
+            crash_channel: Cell::new(false),
+        })
+    }
+
+    /// The per-victim cooldown stamps, in pid order (checkpointing).
+    pub(crate) fn last_pass_entries(&self) -> Vec<(Pid, SimTime)> {
+        self.last_pass
+            .borrow()
+            .iter()
+            .map(|(&pid, &at)| (pid, at))
+            .collect()
+    }
+
+    /// Arms or disarms the crash channel (crash-consistent harness only).
+    pub(crate) fn set_crash_channel(&self, enabled: bool) {
+        self.crash_channel.set(enabled);
+    }
+
+    /// Returns `Err(point)` when the armed crash channel says the
+    /// defender process dies at `point`; a cheap no-op (no RNG draw)
+    /// while the channel is disarmed.
+    fn crash_if(&self, system: &System, point: CrashPoint) -> Result<(), CrashPoint> {
+        if self.crash_channel.get() && system.faults().crash_at(point) {
+            return Err(point);
+        }
+        Ok(())
     }
 
     /// The shared monitor.
@@ -383,13 +435,35 @@ impl JgreDefender {
     /// 5. whatever reduced confidence is reported in
     ///    [`DetectionOutcome::Degraded`].
     pub fn poll(&self, system: &mut System) -> Option<DetectionOutcome> {
+        debug_assert!(
+            !self.crash_channel.get(),
+            "an armed crash channel requires try_poll"
+        );
+        self.try_poll(system).ok().flatten()
+    }
+
+    /// [`poll`](Self::poll), with the defender's own mortality modeled:
+    /// when the crash channel is armed (crash-consistent harness) and the
+    /// fault layer fires, the pass stops dead at the given
+    /// [`CrashPoint`] — whatever kills and clock advances already
+    /// happened stay happened, the monitor is *not* reset, the driver log
+    /// is *not* pruned, and no outcome is produced. Exactly the state a
+    /// real process leaves behind when it is SIGKILLed mid-pass.
+    ///
+    /// # Errors
+    ///
+    /// The [`CrashPoint`] at which the defender died.
+    pub fn try_poll(&self, system: &mut System) -> Result<Option<DetectionOutcome>, CrashPoint> {
         let now = system.now();
-        let victim = self.monitor.alarmed_pids().into_iter().find(|pid| {
+        let Some(victim) = self.monitor.alarmed_pids().into_iter().find(|pid| {
             self.last_pass
                 .borrow()
                 .get(pid)
                 .is_none_or(|&last| now.saturating_since(last) >= self.config.cooldown)
-        })?;
+        }) else {
+            return Ok(None);
+        };
+        self.crash_if(system, CrashPoint::PollStart)?;
         let detected_at = now;
         let mut causes: Vec<DegradationCause> = Vec::new();
 
@@ -398,13 +472,13 @@ impl JgreDefender {
             Some(t) if !adds.is_empty() => t,
             _ => {
                 self.monitor.reset(victim);
-                return None;
+                return Ok(None);
             }
         };
         // Ground-truth cross-check: a dead victim has nothing to recover.
         if system.jgr_count(victim).is_none() {
             self.monitor.reset(victim);
-            return None;
+            return Ok(None);
         }
         if !adds.windows(2).all(|w| w[0] <= w[1]) {
             adds.sort_unstable();
@@ -474,7 +548,10 @@ impl JgreDefender {
                     break;
                 }
             }
-            report = last?;
+            let Some(last) = last else {
+                return Ok(None);
+            };
+            report = last;
         }
         // The scoring cost lands on the clock before recovery begins, so
         // kill timestamps (and any respawns) happen after the analysis
@@ -482,6 +559,7 @@ impl JgreDefender {
         system
             .clock()
             .advance(SimDuration::from_micros(response_us));
+        self.crash_if(system, CrashPoint::PostScoring)?;
 
         // Recovery: kill by rank until the table is back to normal, with
         // bounded retry-with-backoff when a kill fails.
@@ -492,6 +570,7 @@ impl JgreDefender {
             }
             match system.jgr_count(victim) {
                 Some(count) if count >= self.config.normal_level => {
+                    self.crash_if(system, CrashPoint::Kill)?;
                     let mut attempts = 0u32;
                     loop {
                         attempts += 1;
@@ -550,11 +629,11 @@ impl JgreDefender {
             response_delay,
             victim_jgr_after,
         };
-        Some(if causes.is_empty() {
+        Ok(Some(if causes.is_empty() {
             DetectionOutcome::Full(report)
         } else {
             DetectionOutcome::Degraded { report, causes }
-        })
+        }))
     }
 
     /// Groups the driver's transaction log into the per-app, per-IPC-type

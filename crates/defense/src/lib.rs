@@ -49,17 +49,29 @@
 
 #![deny(missing_docs)]
 
+mod checkpoint;
+mod crashsafe;
 mod defender;
 mod error;
+mod journal;
 mod monitor;
 mod naive_defense;
 mod scorer;
 mod segment_tree;
 
+pub use checkpoint::{
+    config_fingerprint, decode_checkpoint, encode_checkpoint, CheckpointReject, DefenderCheckpoint,
+    MonitorSnapshot, WatchSnapshot, CHECKPOINT_MAGIC, CHECKPOINT_SCHEMA_VERSION,
+};
+pub use crashsafe::{CrashConsistentConfig, CrashConsistentDefender, RecoveryStats};
 pub use defender::{
     DefenderConfig, DegradationCause, DetectionOutcome, DetectionReport, JgreDefender, ScoringKind,
 };
 pub use error::DefenseError;
+pub use journal::{
+    checksum, DirStore, Journal, JournalRecord, MemoryStore, PersistError, ReopenReport,
+    StateStore, JOURNAL_MAGIC, JOURNAL_SCHEMA_VERSION,
+};
 pub use monitor::JgrMonitor;
 pub use naive_defense::{CallCountDefense, CallCountDetection};
 pub use scorer::{naive_scores, segment_tree_scores, ScoreParams, ScoreReport, UidScore};

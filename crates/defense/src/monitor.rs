@@ -2,10 +2,13 @@
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 use jgre_art::{JgrEvent, JgrEventKind, JgrObserver};
 use jgre_sim::{apply_skew, FaultLayer, JgrLogAction, Pid, SimTime};
 
+use crate::checkpoint::{MonitorSnapshot, WatchSnapshot};
+use crate::journal::{Journal, JournalRecord};
 use crate::DefenseError;
 
 #[derive(Debug, Default)]
@@ -23,6 +26,7 @@ struct Inner {
     trigger_threshold: usize,
     watches: BTreeMap<Pid, WatchState>,
     faults: Option<FaultLayer>,
+    journal: Option<Rc<RefCell<Journal>>>,
 }
 
 /// Observes JGR traffic on every runtime it is registered with.
@@ -74,6 +78,7 @@ impl JgrMonitor {
                 trigger_threshold,
                 watches: BTreeMap::new(),
                 faults: None,
+                journal: None,
             }),
         })
     }
@@ -89,6 +94,13 @@ impl JgrMonitor {
     /// monitor shares the device's fault stream.
     pub fn set_fault_layer(&self, faults: FaultLayer) {
         self.inner.borrow_mut().faults = Some(faults);
+    }
+
+    /// Routes every observed event through a write-ahead journal before
+    /// applying it. Installed by the crash-consistent defender *after*
+    /// replay, so recovery does not re-journal what it replays.
+    pub fn attach_journal(&self, journal: Rc<RefCell<Journal>>) {
+        self.inner.borrow_mut().journal = Some(journal);
     }
 
     /// Pids whose alarm is raised.
@@ -156,32 +168,83 @@ impl JgrMonitor {
             w.remove_times.clear();
         }
     }
-}
 
-impl JgrObserver for JgrMonitor {
-    fn on_jgr_event(&self, event: JgrEvent) {
+    /// Serializable snapshot of every watch (checkpointing).
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let inner = self.inner.borrow();
+        MonitorSnapshot {
+            watches: inner
+                .watches
+                .iter()
+                .map(|(&pid, w)| WatchSnapshot {
+                    pid,
+                    current: w.current,
+                    recording_since: w.recording_since,
+                    add_times: w.add_times.clone(),
+                    remove_times: w.remove_times.clone(),
+                    alarmed: w.alarmed,
+                })
+                .collect(),
+        }
+    }
+
+    /// Replaces every watch with the snapshot's state (recovery from a
+    /// checkpoint). Thresholds and the fault layer are untouched.
+    pub fn restore(&self, snapshot: &MonitorSnapshot) {
         let mut inner = self.inner.borrow_mut();
+        inner.watches = snapshot
+            .watches
+            .iter()
+            .map(|w| {
+                (
+                    w.pid,
+                    WatchState {
+                        current: w.current,
+                        recording_since: w.recording_since,
+                        add_times: w.add_times.clone(),
+                        remove_times: w.remove_times.clone(),
+                        alarmed: w.alarmed,
+                    },
+                )
+            })
+            .collect();
+    }
+
+    /// Re-applies a journaled event during recovery. The journal already
+    /// recorded the fault layer's verdict (`logged_at`), so replay draws
+    /// nothing from the fault RNG and never re-journals.
+    pub(crate) fn replay_event(
+        &self,
+        pid: Pid,
+        kind: JgrEventKind,
+        at: SimTime,
+        logged_at: Option<SimTime>,
+        table_size: usize,
+    ) {
+        let mut inner = self.inner.borrow_mut();
+        Self::apply(&mut inner, pid, kind, at, logged_at, table_size);
+    }
+
+    /// The shared state transition for one event: live observation and
+    /// journal replay both land here, keeping them bit-identical.
+    fn apply(
+        inner: &mut Inner,
+        pid: Pid,
+        kind: JgrEventKind,
+        at: SimTime,
+        logged_at: Option<SimTime>,
+        table_size: usize,
+    ) {
         let record_threshold = inner.record_threshold;
         let trigger_threshold = inner.trigger_threshold;
-        // Decide the journal fate up front (one immutable borrow of the
-        // shared layer); table-size tracking below never consults it.
-        let journal = match inner.faults.as_ref().filter(|f| f.is_active()) {
-            Some(f) => f.jgr_log_action(),
-            None => JgrLogAction::Record,
-        };
-        let watch = inner.watches.entry(event.pid).or_default();
-        watch.current = event.table_size_after;
+        let watch = inner.watches.entry(pid).or_default();
+        watch.current = table_size;
         if watch.current >= record_threshold {
             if watch.recording_since.is_none() {
-                watch.recording_since = Some(event.at);
+                watch.recording_since = Some(at);
             }
-            let logged_at = match journal {
-                JgrLogAction::Record => Some(event.at),
-                JgrLogAction::Lose => None,
-                JgrLogAction::CorruptBy(skew) => Some(apply_skew(event.at, skew)),
-            };
             if let Some(at) = logged_at {
-                match event.kind {
+                match kind {
                     JgrEventKind::Add => watch.add_times.push(at),
                     JgrEventKind::Remove => watch.remove_times.push(at),
                 }
@@ -196,6 +259,42 @@ impl JgrObserver for JgrMonitor {
         if watch.current >= trigger_threshold {
             watch.alarmed = true;
         }
+    }
+}
+
+impl JgrObserver for JgrMonitor {
+    fn on_jgr_event(&self, event: JgrEvent) {
+        let mut inner = self.inner.borrow_mut();
+        // Decide the journal fate up front (one immutable borrow of the
+        // shared layer); table-size tracking below never consults it.
+        let action = match inner.faults.as_ref().filter(|f| f.is_active()) {
+            Some(f) => f.jgr_log_action(),
+            None => JgrLogAction::Record,
+        };
+        let logged_at = match action {
+            JgrLogAction::Record => Some(event.at),
+            JgrLogAction::Lose => None,
+            JgrLogAction::CorruptBy(skew) => Some(apply_skew(event.at, skew)),
+        };
+        // Write-ahead: the durable record (with the fault verdict baked
+        // in) lands before the in-memory transition it describes.
+        if let Some(journal) = inner.journal.clone() {
+            journal.borrow_mut().append(&JournalRecord::Event {
+                pid: event.pid,
+                kind: event.kind,
+                at: event.at,
+                logged_at,
+                table_size: event.table_size_after,
+            });
+        }
+        Self::apply(
+            &mut inner,
+            event.pid,
+            event.kind,
+            event.at,
+            logged_at,
+            event.table_size_after,
+        );
     }
 }
 

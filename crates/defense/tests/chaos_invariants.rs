@@ -57,6 +57,14 @@ fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
                     plan.kill_fail_budget = single.kill_fail_budget;
                 }
                 FaultKind::KillRespawn => plan.kill_respawn = single.kill_respawn,
+                // Inert for the unsupervised defender under test here
+                // (only the crash-consistent harness consumes it), but
+                // the channel must not perturb anything else.
+                FaultKind::DefenderCrash => {
+                    plan.crash = single.crash;
+                    plan.crash_budget = single.crash_budget;
+                    plan.crash_point = single.crash_point;
+                }
             }
         }
         plan

@@ -1,0 +1,119 @@
+//! Kill retry-budget invariants under a permanently failing kill
+//! channel.
+//!
+//! With `kill_fail = 1.0` and an unlimited failure budget, every
+//! `am force-stop` the defender issues fails. The configured retry
+//! policy must then be exact: each failed candidate is attempted exactly
+//! `kill_retries + 1` times, and the cumulative backoff the pass spends
+//! on it is exactly `kill_backoff × (2^kill_retries − 1)` — verified
+//! differentially, as the `response_delay` gap between a run with
+//! backoff `b` and an otherwise identical run with backoff zero.
+
+use jgre_defense::{DefenderConfig, DegradationCause, DetectionOutcome, JgreDefender};
+use jgre_framework::{CallOptions, System, SystemConfig};
+use jgre_sim::{FaultPlan, SimDuration};
+use proptest::prelude::*;
+
+const CAP: usize = 3_200;
+
+fn always_failing_kills() -> FaultPlan {
+    FaultPlan {
+        kill_fail: 1.0,
+        kill_fail_budget: u32::MAX,
+        ..FaultPlan::none()
+    }
+}
+
+/// Runs one attack to the first completed pass under the given retry
+/// policy; every kill fails, so the pass ends degraded.
+fn first_pass(seed: u64, kill_retries: u32, kill_backoff: SimDuration) -> DetectionOutcome {
+    let mut system = System::boot_with(SystemConfig {
+        seed,
+        jgr_capacity: Some(CAP),
+        faults: always_failing_kills(),
+        ..SystemConfig::default()
+    });
+    let config = DefenderConfig {
+        record_threshold: 250,
+        trigger_threshold: 750,
+        normal_level: 190,
+        kill_retries,
+        kill_backoff,
+        ..DefenderConfig::default()
+    };
+    let defender = JgreDefender::install(&mut system, config).expect("config is valid");
+    let mal = system.install_app("com.prop.attacker", []);
+    for _ in 0..(CAP as u64 * 4) {
+        system
+            .call_service(
+                mal,
+                "clipboard",
+                "addPrimaryClipChangedListener",
+                CallOptions::default(),
+            )
+            .expect("clipboard registered");
+        if let Some(d) = defender.poll(&mut system) {
+            return d;
+        }
+    }
+    panic!("attack must trip the alarm");
+}
+
+fn kill_failures(outcome: &DetectionOutcome) -> Vec<(jgre_sim::Uid, u32)> {
+    outcome
+        .causes()
+        .iter()
+        .filter_map(|c| match c {
+            DegradationCause::KillFailed { uid, attempts } => Some((*uid, *attempts)),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Attempts per candidate never exceed (or undershoot) the budget,
+    /// and the backoff bill is exactly the geometric series the config
+    /// promises — no hidden retries, no unbounded spinning.
+    #[test]
+    fn retry_attempts_and_backoff_match_the_configured_budget(
+        seed in 0u64..200,
+        kill_retries in 0u32..=5,
+        backoff_ms in 1u64..=20,
+    ) {
+        let backoff = SimDuration::from_millis(backoff_ms);
+        let with = first_pass(seed, kill_retries, backoff);
+        let without = first_pass(seed, kill_retries, SimDuration::ZERO);
+
+        let failures = kill_failures(&with);
+        prop_assert!(!failures.is_empty(), "all kills fail, so some candidate must report");
+        for (uid, attempts) in &failures {
+            prop_assert_eq!(
+                *attempts,
+                kill_retries + 1,
+                "candidate {} attempted {} times under a budget of {}",
+                uid, attempts, kill_retries + 1
+            );
+        }
+        prop_assert!(with.killed.is_empty(), "nothing can die on this channel");
+
+        // The two runs are identical up to the backoff waits: same
+        // victim, same failed candidates, in the same order.
+        prop_assert_eq!(with.victim, without.victim);
+        prop_assert_eq!(&failures, &kill_failures(&without));
+
+        // Cumulative backoff per candidate: b·(2^r − 1). The differential
+        // delay accounts for every microsecond of it, nothing more.
+        let per_candidate = backoff.as_micros() * ((1u64 << kill_retries) - 1);
+        let expected = per_candidate * failures.len() as u64;
+        let delta = with.response_delay.as_micros() - without.response_delay.as_micros();
+        prop_assert_eq!(
+            delta,
+            expected,
+            "backoff bill for {} candidates at {} retries",
+            failures.len(),
+            kill_retries
+        );
+    }
+}

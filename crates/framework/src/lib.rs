@@ -47,7 +47,8 @@ pub use lmk::{
 };
 pub use process::{Process, ProcessTable};
 pub use system::{
-    CallOptions, CallOutcome, CallStatus, KillOutcome, ServiceInfo, System, SystemConfig,
+    CallOptions, CallOutcome, CallStatus, KillOutcome, ServiceInfo, Supervisor, SupervisorConfig,
+    System, SystemConfig,
 };
 
 /// Number of processes running on the stock image before any third-party

@@ -488,6 +488,17 @@ impl System {
         self.jgr_observers.push(observer);
     }
 
+    /// Drops every registered JGR observer from every runtime — the
+    /// observing process (the defender) died, and a dead process cannot
+    /// receive events. Its supervised successor re-registers a fresh
+    /// monitor after recovery.
+    pub fn clear_jgr_observers(&mut self) {
+        for p in self.processes.iter_mut() {
+            p.runtime.clear_observers();
+        }
+        self.jgr_observers.clear();
+    }
+
     // -- app management ----------------------------------------------------
 
     /// Installs a third-party app with the given granted permissions.
@@ -1314,6 +1325,118 @@ impl System {
             .and_then(|s| s.per_method.get(method))
             .map(|m| m.calls)
             .unwrap_or(0)
+    }
+}
+
+/// Restart policy for a supervised system service (`init`-style): how
+/// many times in a row a crashing service may be restarted, and how the
+/// restart backoff grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Consecutive crashes tolerated before the supervisor gives up (a
+    /// healthy run of the service resets the count, as Android's init
+    /// does for a service that stays up).
+    pub max_restarts: u32,
+    /// Backoff before the first restart; doubles per consecutive crash.
+    pub backoff: SimDuration,
+    /// Ceiling on a single backoff.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_restarts: 8,
+            backoff: SimDuration::from_millis(50),
+            backoff_cap: SimDuration::from_secs(2),
+        }
+    }
+}
+
+/// Bounded-restart supervisor: the loop `init` runs around a critical
+/// service, reduced to its decisions. The caller reports crashes and
+/// healthy runs; the supervisor answers with the backoff to wait before
+/// the next restart, or `None` once the restart budget is exhausted.
+///
+/// # Example
+///
+/// ```
+/// use jgre_framework::{Supervisor, SupervisorConfig};
+///
+/// let mut sup = Supervisor::new(SupervisorConfig::default());
+/// let backoff = sup.on_crash().expect("first crash is restartable");
+/// assert_eq!(backoff, SupervisorConfig::default().backoff);
+/// sup.on_healthy(); // a good run resets the consecutive-crash count
+/// assert_eq!(sup.total_restarts(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+    consecutive_crashes: u32,
+    total_restarts: u64,
+    total_backoff: SimDuration,
+    gave_up: bool,
+}
+
+impl Supervisor {
+    /// Creates a supervisor with the given restart policy.
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self {
+            config,
+            consecutive_crashes: 0,
+            total_restarts: 0,
+            total_backoff: SimDuration::ZERO,
+            gave_up: false,
+        }
+    }
+
+    /// The configured policy.
+    pub fn config(&self) -> SupervisorConfig {
+        self.config
+    }
+
+    /// The service crashed. Returns the backoff to wait before
+    /// restarting it, or `None` when the consecutive-crash budget is
+    /// spent — the supervisor then stays given-up permanently.
+    pub fn on_crash(&mut self) -> Option<SimDuration> {
+        if self.gave_up || self.consecutive_crashes >= self.config.max_restarts {
+            self.gave_up = true;
+            return None;
+        }
+        let exp = self.consecutive_crashes.min(16);
+        let backoff = (self.config.backoff * (1u64 << exp)).min(self.config.backoff_cap);
+        self.consecutive_crashes += 1;
+        self.total_restarts += 1;
+        self.total_backoff += backoff;
+        Some(backoff)
+    }
+
+    /// The service completed a healthy run: reset the consecutive-crash
+    /// count (but not the lifetime totals).
+    pub fn on_healthy(&mut self) {
+        if !self.gave_up {
+            self.consecutive_crashes = 0;
+        }
+    }
+
+    /// Whether the restart budget is exhausted.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    /// Crashes since the last healthy run.
+    pub fn consecutive_crashes(&self) -> u32 {
+        self.consecutive_crashes
+    }
+
+    /// Restarts performed over the supervisor's lifetime.
+    pub fn total_restarts(&self) -> u64 {
+        self.total_restarts
+    }
+
+    /// Cumulative backoff waited across every restart.
+    pub fn total_backoff(&self) -> SimDuration {
+        self.total_backoff
     }
 }
 

@@ -58,11 +58,15 @@ pub enum FaultKind {
     /// The killed app is immediately respawned by its sync adapters /
     /// sticky services.
     KillRespawn,
+    /// The defender process itself dies at a poll/journal/kill boundary.
+    /// Consumed by the crash-consistent harness; inert for an
+    /// unsupervised defender.
+    DefenderCrash,
 }
 
 impl FaultKind {
     /// Every fault kind, in matrix order.
-    pub const ALL: [FaultKind; 9] = [
+    pub const ALL: [FaultKind; 10] = [
         FaultKind::IpcDrop,
         FaultKind::IpcDuplicate,
         FaultKind::IpcDelay,
@@ -72,6 +76,7 @@ impl FaultKind {
         FaultKind::ClockJitter,
         FaultKind::KillFail,
         FaultKind::KillRespawn,
+        FaultKind::DefenderCrash,
     ];
 
     /// Stable kebab-case name (CLI flag values and artifact keys).
@@ -86,6 +91,7 @@ impl FaultKind {
             FaultKind::ClockJitter => "clock-jitter",
             FaultKind::KillFail => "kill-fail",
             FaultKind::KillRespawn => "kill-respawn",
+            FaultKind::DefenderCrash => "defender-crash",
         }
     }
 
@@ -164,6 +170,62 @@ impl fmt::Display for FaultIntensity {
     }
 }
 
+/// Where in the defender's control flow a [`FaultKind::DefenderCrash`]
+/// fault may strike.
+///
+/// The crash channel is consulted only at these boundaries — the places
+/// where a real defender process holds in-memory state that a write-ahead
+/// journal must make recoverable. Each boundary is an *opportunity*; the
+/// plan's [`crash`](FaultPlan::crash) probability and
+/// [`crash_budget`](FaultPlan::crash_budget) decide whether it fires, and
+/// [`crash_point`](FaultPlan::crash_point) can pin the channel to one
+/// boundary so a schedule deterministically kills the defender at, say,
+/// exactly the kill loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CrashPoint {
+    /// An alarm was picked up but no work has happened yet.
+    PollStart,
+    /// Scoring finished; the kill list exists only in memory.
+    PostScoring,
+    /// Immediately before a kill attempt — earlier kills of the same pass
+    /// have already mutated the system.
+    Kill,
+    /// Right before the decision record reaches the journal: the pass
+    /// completed (kills applied, monitor reset) but nothing durable says
+    /// so.
+    JournalAppend,
+    /// Right before a checkpoint is written.
+    Checkpoint,
+}
+
+impl CrashPoint {
+    /// Every crash boundary, in control-flow order.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::PollStart,
+        CrashPoint::PostScoring,
+        CrashPoint::Kill,
+        CrashPoint::JournalAppend,
+        CrashPoint::Checkpoint,
+    ];
+
+    /// Stable kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::PollStart => "poll-start",
+            CrashPoint::PostScoring => "post-scoring",
+            CrashPoint::Kill => "kill",
+            CrashPoint::JournalAppend => "journal-append",
+            CrashPoint::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+impl fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Declarative fault configuration: one probability (and where needed a
 /// magnitude) per channel. All probabilities are per-opportunity.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -195,6 +257,12 @@ pub struct FaultPlan {
     pub kill_fail_budget: u32,
     /// Probability a killed app respawns immediately.
     pub kill_respawn: f64,
+    /// Probability the defender process dies at a crash boundary.
+    pub crash: f64,
+    /// Budget of injected defender crashes (`u32::MAX` = unbounded).
+    pub crash_budget: u32,
+    /// Restrict crashes to one boundary (`None` = any boundary may fire).
+    pub crash_point: Option<CrashPoint>,
 }
 
 impl Default for FaultPlan {
@@ -220,6 +288,9 @@ impl FaultPlan {
             kill_fail: 0.0,
             kill_fail_budget: u32::MAX,
             kill_respawn: 0.0,
+            crash: 0.0,
+            crash_budget: u32::MAX,
+            crash_point: None,
         }
     }
 
@@ -250,6 +321,21 @@ impl FaultPlan {
                 }
             }
             FaultKind::KillRespawn => plan.kill_respawn = (p * 5.0).min(1.0),
+            FaultKind::DefenderCrash => match intensity {
+                FaultIntensity::Off => plan.crash = 0.0,
+                // One deterministic mid-incident death below severe — the
+                // headline crash-and-recover condition.
+                FaultIntensity::Light | FaultIntensity::Moderate => {
+                    plan.crash = 1.0;
+                    plan.crash_budget = 1;
+                }
+                // Severe: repeated probabilistic deaths, still bounded so
+                // a sane supervisor restart budget cannot be exhausted.
+                FaultIntensity::Severe => {
+                    plan.crash = 0.6;
+                    plan.crash_budget = 5;
+                }
+            },
         }
         plan
     }
@@ -277,6 +363,7 @@ impl FaultPlan {
             self.clock_jitter,
             self.kill_fail,
             self.kill_respawn,
+            self.crash,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -298,6 +385,7 @@ impl FaultPlan {
             ("clock_jitter", self.clock_jitter),
             ("kill_fail", self.kill_fail),
             ("kill_respawn", self.kill_respawn),
+            ("crash", self.crash),
         ] {
             if !(0.0..=1.0).contains(&p) || p.is_nan() {
                 return Err((name, p));
@@ -355,6 +443,8 @@ pub struct FaultStats {
     pub kills_failed: u64,
     /// Kills followed by a respawn.
     pub kills_respawned: u64,
+    /// Defender crashes injected at poll/journal/kill boundaries.
+    pub defender_crashes: u64,
 }
 
 impl FaultStats {
@@ -369,6 +459,7 @@ impl FaultStats {
             + self.clock_jittered
             + self.kills_failed
             + self.kills_respawned
+            + self.defender_crashes
     }
 }
 
@@ -378,6 +469,7 @@ struct Injector {
     rng: SimRng,
     stats: FaultStats,
     kill_failures_left: u32,
+    crashes_left: u32,
 }
 
 impl Injector {
@@ -412,6 +504,7 @@ impl FaultLayer {
                 rng: SimRng::seed(seed ^ 0xFAB1_7FA0_17C0_FFEE),
                 stats: FaultStats::default(),
                 kill_failures_left: plan.kill_fail_budget,
+                crashes_left: plan.crash_budget,
             })),
         }
     }
@@ -505,6 +598,23 @@ impl FaultLayer {
         true
     }
 
+    /// Whether the defender dies at this boundary (respects the crash
+    /// budget and the plan's optional boundary pin). Boundaries the plan
+    /// pins away from, and a zero crash probability, never touch the RNG.
+    pub fn crash_at(&self, point: CrashPoint) -> bool {
+        let mut i = self.inner.borrow_mut();
+        let plan = i.plan;
+        if i.crashes_left == 0 || plan.crash_point.is_some_and(|p| p != point) {
+            return false;
+        }
+        if !i.roll(plan.crash) {
+            return false;
+        }
+        i.crashes_left = i.crashes_left.saturating_sub(1);
+        i.stats.defender_crashes += 1;
+        true
+    }
+
     /// Whether a successful kill is immediately followed by a respawn.
     pub fn kill_respawns(&self) -> bool {
         let mut i = self.inner.borrow_mut();
@@ -540,6 +650,7 @@ mod tests {
             assert_eq!(layer.jgr_log_action(), JgrLogAction::Record);
             assert!(!layer.kill_fails());
             assert!(!layer.kill_respawns());
+            assert!(!layer.crash_at(CrashPoint::PollStart));
             let t = SimTime::from_micros(12_345);
             assert_eq!(layer.jitter_ipc_timestamp(t), t);
         }
@@ -581,6 +692,36 @@ mod tests {
             assert!(!layer.kill_fails(), "budget of 2 exhausted");
         }
         assert_eq!(layer.stats().kills_failed, 2);
+    }
+
+    #[test]
+    fn crash_budget_is_respected() {
+        let plan = FaultPlan {
+            crash: 1.0,
+            crash_budget: 2,
+            ..FaultPlan::none()
+        };
+        let layer = FaultLayer::new(plan, 0);
+        assert!(layer.crash_at(CrashPoint::PollStart));
+        assert!(layer.crash_at(CrashPoint::Kill));
+        for point in CrashPoint::ALL {
+            assert!(!layer.crash_at(point), "budget of 2 exhausted");
+        }
+        assert_eq!(layer.stats().defender_crashes, 2);
+    }
+
+    #[test]
+    fn crash_point_pin_restricts_the_boundary() {
+        let plan = FaultPlan {
+            crash: 1.0,
+            crash_point: Some(CrashPoint::Kill),
+            ..FaultPlan::none()
+        };
+        let layer = FaultLayer::new(plan, 3);
+        for point in CrashPoint::ALL {
+            assert_eq!(layer.crash_at(point), point == CrashPoint::Kill, "{point}");
+        }
+        assert_eq!(layer.stats().defender_crashes, 1);
     }
 
     #[test]

@@ -43,8 +43,8 @@ mod trace;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use event::EventQueue;
 pub use fault::{
-    apply_skew, FaultIntensity, FaultKind, FaultLayer, FaultPlan, FaultStats, IpcLogAction,
-    JgrLogAction,
+    apply_skew, CrashPoint, FaultIntensity, FaultKind, FaultLayer, FaultPlan, FaultStats,
+    IpcLogAction, JgrLogAction,
 };
 pub use ids::{Pid, Tid, Uid};
 pub use rng::SimRng;

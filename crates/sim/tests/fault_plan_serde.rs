@@ -1,0 +1,100 @@
+//! Serialization round-trips for the fault-injection plan.
+//!
+//! `FaultPlan` travels: it is embedded in chaos-matrix artifacts, CLI
+//! JSON output, and (via the crash-consistent defender's journal crate)
+//! on-disk state. Any field that fails to round-trip through JSON would
+//! silently re-run a different experiment, so every representable plan —
+//! including the budget sentinels and the optional crash pin — must come
+//! back bit-identical.
+
+use jgre_sim::{CrashPoint, FaultIntensity, FaultKind, FaultPlan, SimDuration};
+use proptest::prelude::*;
+
+fn plan_strategy() -> impl Strategy<Value = FaultPlan> {
+    let point = prop_oneof![
+        Just(None),
+        Just(Some(CrashPoint::PollStart)),
+        Just(Some(CrashPoint::PostScoring)),
+        Just(Some(CrashPoint::Kill)),
+        Just(Some(CrashPoint::JournalAppend)),
+        Just(Some(CrashPoint::Checkpoint)),
+    ];
+    // The compat proptest has no float ranges; per-mill integers cover
+    // the probability space densely enough and exercise non-dyadic
+    // floats (0.001 has no finite binary expansion).
+    let probs = proptest::collection::vec(0u32..=1_000, 10);
+    let durations = proptest::collection::vec(0u64..=5_000_000, 4);
+    let budgets = || prop_oneof![Just(0u32), 1u32..=100, Just(u32::MAX)];
+    (probs, durations, budgets(), budgets(), point).prop_map(
+        |(p, d, kill_fail_budget, crash_budget, crash_point)| FaultPlan {
+            ipc_drop: f64::from(p[0]) / 1_000.0,
+            ipc_duplicate: f64::from(p[1]) / 1_000.0,
+            ipc_delay: f64::from(p[2]) / 1_000.0,
+            ipc_delay_max: SimDuration::from_micros(d[0]),
+            ipc_reorder: f64::from(p[3]) / 1_000.0,
+            jgr_truncate: f64::from(p[4]) / 1_000.0,
+            jgr_corrupt: f64::from(p[5]) / 1_000.0,
+            jgr_corrupt_max: SimDuration::from_micros(d[1]),
+            clock_jitter: f64::from(p[6]) / 1_000.0,
+            clock_jitter_max: SimDuration::from_micros(d[2]),
+            kill_fail: f64::from(p[7]) / 1_000.0,
+            kill_fail_budget,
+            kill_respawn: f64::from(p[8]) / 1_000.0,
+            crash: f64::from(p[9]) / 1_000.0,
+            crash_budget,
+            crash_point,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compact and pretty JSON both reproduce the exact plan, including
+    /// `u32::MAX` budget sentinels and the crash-point pin.
+    #[test]
+    fn fault_plan_round_trips_through_json(plan in plan_strategy()) {
+        let compact = serde_json::to_string(&plan).expect("plans serialize");
+        let back: FaultPlan = serde_json::from_str(&compact).expect("plans deserialize");
+        prop_assert_eq!(back, plan);
+
+        let pretty = serde_json::to_string_pretty(&plan).expect("plans serialize");
+        let back: FaultPlan = serde_json::from_str(&pretty).expect("plans deserialize");
+        prop_assert_eq!(back, plan);
+    }
+}
+
+#[test]
+fn every_intensity_of_every_kind_round_trips() {
+    for kind in FaultKind::ALL {
+        for intensity in [
+            FaultIntensity::Off,
+            FaultIntensity::Light,
+            FaultIntensity::Moderate,
+            FaultIntensity::Severe,
+        ] {
+            let plan = FaultPlan::single(kind, intensity);
+            let json = serde_json::to_string(&plan).unwrap();
+            let back: FaultPlan = serde_json::from_str(&json).unwrap();
+            assert_eq!(
+                back,
+                plan,
+                "{}/{} must round-trip",
+                kind.name(),
+                intensity.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn kind_names_parse_back() {
+    for kind in FaultKind::ALL {
+        assert_eq!(FaultKind::parse(kind.name()), Some(kind));
+    }
+    assert_eq!(
+        FaultKind::parse("defender-crash"),
+        Some(FaultKind::DefenderCrash)
+    );
+    assert_eq!(FaultKind::parse("no-such-fault"), None);
+}

@@ -38,8 +38,9 @@ COMMANDS:
                (--json prints the raw lint report instead)
   chaos        robustness matrix — seeded fault injection (drop/duplicate/
                delay/reorder IPC records, truncate/corrupt the JGR journal,
-               clock jitter, failed/respawning kills) against the hardened
-               defender; exits nonzero on any recovery-invariant violation
+               clock jitter, failed/respawning kills, defender crashes)
+               against the crash-consistent defender; exits nonzero on any
+               recovery-invariant violation
 
 OPTIONS:
   --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
@@ -54,10 +55,13 @@ OPTIONS:
                (default 1; results are identical for every N)
   --fault K    (chaos) restrict the matrix to one fault kind: ipc-drop,
                ipc-duplicate, ipc-delay, ipc-reorder, jgr-truncate,
-               jgr-corrupt, clock-jitter, kill-fail, kill-respawn
+               jgr-corrupt, clock-jitter, kill-fail, kill-respawn,
+               defender-crash
                (default: all; fault-free baselines always run)
   --out PATH   (chaos) write the matrix as JSON to PATH and the rendered
                table next to it as PATH with a .txt extension
+  --list-cells (chaos) print the cell ids the matrix would run, one per
+               line, without running anything (honors --fault)
 ";
 
 struct Options {
@@ -66,6 +70,7 @@ struct Options {
     analysis: jgre_analysis::AnalysisOptions,
     fault: Option<jgre_core::sim::FaultKind>,
     out: Option<std::path::PathBuf>,
+    list_cells: bool,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -170,6 +175,12 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
             );
         }
         "chaos" => {
+            if options.list_cells {
+                for id in experiments::chaos_cell_ids(options.fault) {
+                    println!("{id}");
+                }
+                return Ok(());
+            }
             let matrix = experiments::chaos_matrix(scale, options.fault);
             let json = serde_json::to_string_pretty(&matrix).expect("chaos matrix serialises");
             let rendered = matrix.render();
@@ -211,6 +222,7 @@ fn main() -> ExitCode {
     let mut analysis = jgre_analysis::AnalysisOptions::default();
     let mut fault = None;
     let mut out = None;
+    let mut list_cells = false;
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -252,6 +264,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--list-cells" => list_cells = true,
             "--out" => match iter.next() {
                 Some(path) => out = Some(path.into()),
                 None => {
@@ -284,6 +297,7 @@ fn main() -> ExitCode {
             analysis,
             fault,
             out,
+            list_cells,
         },
     ) {
         Ok(()) => ExitCode::SUCCESS,

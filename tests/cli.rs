@@ -242,8 +242,8 @@ fn chaos_matrix_runs_clean_and_is_seed_deterministic() {
     let parsed: serde_json::Value = serde_json::from_slice(&a).expect("valid JSON");
     assert_eq!(parsed["seed"], 0);
     assert_eq!(parsed["violations"], 0);
-    // 2 attacks × (1 baseline + 9 kinds × 3 intensities).
-    assert_eq!(parsed["cells"].as_array().map(|c| c.len()), Some(56));
+    // 2 attacks × (1 baseline + 10 kinds × 3 intensities).
+    assert_eq!(parsed["cells"].as_array().map(|c| c.len()), Some(62));
 
     let other_seed = jgre()
         .args(["chaos", "--seed", "7", "--json"])
@@ -277,6 +277,32 @@ fn chaos_fault_flag_selects_one_channel() {
         .output()
         .expect("binary runs");
     assert!(!bad.status.success(), "unknown fault kind must be rejected");
+}
+
+#[test]
+fn chaos_list_cells_prints_ids_without_running() {
+    let out = jgre()
+        .args(["chaos", "--list-cells"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let ids: Vec<&str> = stdout.lines().collect();
+    assert_eq!(ids.len(), 62, "full matrix shape");
+    assert!(ids.contains(&"clipboard.addPrimaryClipChangedListener/none/off"));
+    assert!(ids.contains(&"midi.registerDeviceServer/defender-crash/severe"));
+
+    let filtered = jgre()
+        .args(["chaos", "--list-cells", "--fault", "defender-crash"])
+        .output()
+        .expect("binary runs");
+    assert!(filtered.status.success());
+    let stdout = String::from_utf8_lossy(&filtered.stdout);
+    assert_eq!(stdout.lines().count(), 8, "2 baselines + 2×3 crash cells");
 }
 
 #[test]

@@ -3,11 +3,16 @@
 //! the driver log staying bounded and the JGR table returning to its
 //! stock floor after each recovery.
 
+use std::rc::Rc;
+
 use jgre_repro::core::attack::AttackVector;
 use jgre_repro::core::corpus::spec::AospSpec;
-use jgre_repro::core::defense::JgreDefender;
-use jgre_repro::core::framework::{CallOptions, FrameworkError, System};
+use jgre_repro::core::defense::{
+    CrashConsistentConfig, CrashConsistentDefender, JgreDefender, MemoryStore,
+};
+use jgre_repro::core::framework::{CallOptions, FrameworkError, System, SystemConfig};
 use jgre_repro::core::ExperimentScale;
+use jgre_repro::sim::FaultPlan;
 
 #[test]
 fn one_device_survives_a_full_attack_campaign() {
@@ -98,4 +103,60 @@ fn defender_tolerates_a_victim_dying_before_recovery() {
             CallOptions::default(),
         )
         .expect("system services unaffected");
+}
+
+#[test]
+fn crash_consistent_defender_survives_a_campaign_of_crashes() {
+    // Long-haul crash soak: the defender dies probabilistically at every
+    // crash boundary for the whole campaign, yet each attacker still
+    // ends up dead and the supervisor never exhausts its budget — every
+    // recovery replays from the journal rather than starting blind.
+    let scale = ExperimentScale::quick();
+    let mut system = System::boot_with(SystemConfig {
+        faults: FaultPlan {
+            crash: 0.2,
+            crash_budget: u32::MAX,
+            ..FaultPlan::none()
+        },
+        ..scale.system_config()
+    });
+    let store = Rc::new(MemoryStore::new());
+    let mut defender = CrashConsistentDefender::install(
+        &mut system,
+        CrashConsistentConfig {
+            defender: scale.defender_config(),
+            ..CrashConsistentConfig::default()
+        },
+        store,
+    )
+    .expect("config is valid");
+
+    for wave in 0..8u32 {
+        let mal = system.install_app(format!("com.crashwave{wave}"), []);
+        let mut dead = false;
+        for _ in 0..(scale.jgr_capacity as u64 * 4) {
+            let outcome = system
+                .call_service(
+                    mal,
+                    "clipboard",
+                    "addPrimaryClipChangedListener",
+                    CallOptions::default(),
+                )
+                .expect("clipboard registered");
+            assert!(!outcome.host_aborted, "wave {wave} aborted the victim");
+            defender.poll(&mut system);
+            if system.pid_of(mal).is_none() {
+                dead = true;
+                break;
+            }
+        }
+        assert!(dead, "wave {wave}: attacker outlived the defender");
+        assert!(!defender.stats().gave_up, "wave {wave}: supervisor quit");
+    }
+    let stats = defender.stats();
+    assert!(stats.crashes > 0, "the crash channel must actually fire");
+    assert_eq!(stats.restarts, stats.crashes);
+    assert!(stats.checkpoints_written > 0);
+    assert!(stats.truncated_bytes > 0, "every crash leaves a torn tail");
+    assert_eq!(system.soft_reboots(), 0, "no reboot across the campaign");
 }
