@@ -31,11 +31,15 @@
 //! version rejects the whole file, a bad Tier A checksum stops parsing
 //! (the framing can no longer be trusted), a truncated or corrupt Tier B
 //! record is skipped — each rejection increments the `invalidated`
-//! counter and the engine recomputes, never panics.
+//! counter, records a typed [`RejectReason`], and the engine recomputes,
+//! never panics.
 //!
 //! **Schema-version bump rule:** any change to the payload encodings,
 //! the fingerprint recipes they key on, or the summary semantics they
 //! capture must bump [`SCHEMA_VERSION`] so stale files self-invalidate.
+//! Version 3 added the per-site predicate byte ([`PredSet`]) to every
+//! fate encoding; files written by the boolean-guard era (version 2) are
+//! rejected whole as [`RejectReason::StaleSchema`].
 
 use std::collections::{BTreeMap, HashMap};
 use std::fs;
@@ -46,11 +50,11 @@ use jgre_corpus::body::AllocSite;
 use jgre_corpus::{CodeModel, MethodId};
 
 use crate::ir::StableHasher;
-use crate::leakcheck::{EscapeKind, MethodSummary, Retention, SiteSummary};
+use crate::leakcheck::{EscapeKind, MethodSummary, PredSet, Retention, SiteSummary};
 
 /// Bumped whenever the cache encoding or the fingerprints it keys on
 /// change shape; readers reject any other version.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// File name of the summary cache inside `--cache-dir`.
 pub const CACHE_FILE: &str = "summaries.bin";
@@ -150,22 +154,23 @@ fn dec_site_shape(d: &mut Dec) -> Option<AllocSite> {
     }
 }
 
-fn enc_fate(e: &mut Enc, fate: Retention, escape: Option<EscapeKind>, read_only_key: bool) {
-    e.u8(match fate {
+fn enc_fate(e: &mut Enc, site: &SiteSummary) {
+    e.u8(match site.fate {
         Retention::Released => 0,
         Retention::Bounded => 1,
         Retention::Unbounded => 2,
     });
-    e.u8(match escape {
+    e.u8(match site.escape {
         None => 0,
         Some(EscapeKind::ScalarReplace) => 1,
         Some(EscapeKind::BoundedCollection) => 2,
         Some(EscapeKind::UnboundedCollection) => 3,
     });
-    e.u8(u8::from(read_only_key));
+    e.u8(u8::from(site.read_only_key));
+    e.u8(site.preds.bits());
 }
 
-fn dec_fate(d: &mut Dec) -> Option<(Retention, Option<EscapeKind>, bool)> {
+fn dec_fate(d: &mut Dec) -> Option<(Retention, Option<EscapeKind>, bool, PredSet)> {
     let fate = match d.u8()? {
         0 => Retention::Released,
         1 => Retention::Bounded,
@@ -184,7 +189,10 @@ fn dec_fate(d: &mut Dec) -> Option<(Retention, Option<EscapeKind>, bool)> {
         1 => true,
         _ => return None,
     };
-    Some((fate, escape, read_only_key))
+    // Unknown predicate bits mean a future lattice wrote the file: a
+    // typed rejection, not a best-effort decode.
+    let preds = PredSet::from_bits(d.u8()?)?;
+    Some((fate, escape, read_only_key, preds))
 }
 
 /// Encodes the whole-corpus summary table (Tier A): summaries in
@@ -199,7 +207,7 @@ pub fn encode_tier_a(summaries: &[MethodSummary]) -> Vec<u8> {
         for site in &s.sites {
             e.u32(site.method.0);
             enc_site_shape(&mut e, site.site);
-            enc_fate(&mut e, site.fate, site.escape, site.read_only_key);
+            enc_fate(&mut e, site);
         }
     }
     e.buf
@@ -224,13 +232,14 @@ pub fn decode_tier_a(bytes: &[u8], method_count: usize) -> Option<Vec<MethodSumm
                 return None;
             }
             let site = dec_site_shape(&mut d)?;
-            let (fate, escape, read_only_key) = dec_fate(&mut d)?;
+            let (fate, escape, read_only_key, preds) = dec_fate(&mut d)?;
             sites.push(SiteSummary {
                 method: MethodId(method as u32),
                 site,
                 fate,
                 escape,
                 read_only_key,
+                preds,
             });
         }
         out.push(MethodSummary { sites, saw_handler });
@@ -249,7 +258,7 @@ fn enc_member(e: &mut Enc, model: &CodeModel, id: MethodId, summary: &MethodSumm
         e.str(&origin.class);
         e.str(&origin.name);
         enc_site_shape(e, site.site);
-        enc_fate(e, site.fate, site.escape, site.read_only_key);
+        enc_fate(e, site);
     }
 }
 
@@ -295,13 +304,14 @@ pub fn remap_record(
             let site_name = d.str_ref()?;
             let method = *name_index.get(&(site_class, site_name))?;
             let site = dec_site_shape(&mut d)?;
-            let (fate, escape, read_only_key) = dec_fate(&mut d)?;
+            let (fate, escape, read_only_key, preds) = dec_fate(&mut d)?;
             sites.push(SiteSummary {
                 method,
                 site,
                 fate,
                 escape,
                 read_only_key,
+                preds,
             });
         }
         // Recomputed summaries come out of a BTreeMap keyed on
@@ -349,6 +359,7 @@ pub fn summary_fingerprint(model: &CodeModel, id: MethodId, summary: &MethodSumm
             Some(EscapeKind::UnboundedCollection) => 3,
         });
         h.write_u8(u8::from(site.read_only_key));
+        h.write_u8(site.preds.bits());
     }
     h.finish()
 }
@@ -357,8 +368,31 @@ pub fn summary_fingerprint(model: &CodeModel, id: MethodId, summary: &MethodSumm
 // File load/store
 // ------------------------------------------------------------------
 
+/// Why a cache region was rejected, as a typed value — tests and
+/// diagnostics can distinguish a stale lattice schema from corruption
+/// instead of pattern-matching on counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The file is shorter than the fixed header.
+    TruncatedHeader,
+    /// The magic bytes did not match [`CACHE_FILE`]'s format.
+    BadMagic,
+    /// The file was written under a different lattice schema — e.g. a
+    /// boolean-guard-era version-2 file read by the predicate lattice.
+    StaleSchema {
+        /// The version recorded in the file's header.
+        found: u32,
+    },
+    /// A payload failed its checksum or its framing ran off the end.
+    Corrupt,
+    /// A payload framed and checksummed clean but decoded to values
+    /// outside the current domain (unknown tags or predicate bits).
+    MalformedPayload,
+}
+
 /// The cache file's validated contents. Rejected parts are simply
-/// absent; `invalidated` counts every rejection.
+/// absent; `invalidated` counts every rejection and `reject` records
+/// the first one's typed reason.
 #[derive(Debug, Default)]
 pub struct LoadedCache {
     /// Tier A summaries, present only when the header's corpus
@@ -374,6 +408,15 @@ pub struct LoadedCache {
     pub tier_b: BTreeMap<u64, Vec<u8>>,
     /// Corrupt or stale parts rejected while loading.
     pub invalidated: u64,
+    /// The first rejection's reason, when anything was rejected.
+    pub reject: Option<RejectReason>,
+}
+
+impl LoadedCache {
+    fn rejected(&mut self, reason: RejectReason) {
+        self.invalidated += 1;
+        self.reject.get_or_insert(reason);
+    }
 }
 
 /// Loads and validates `path`. A missing file is an empty cache, not
@@ -385,40 +428,40 @@ pub fn load(path: &Path, expected_fp: u64, method_count: usize) -> LoadedCache {
         return out;
     };
     if bytes.len() < HEADER_LEN {
-        out.invalidated += 1;
+        out.rejected(RejectReason::TruncatedHeader);
         return out;
     }
     if &bytes[..8] != MAGIC {
-        out.invalidated += 1;
+        out.rejected(RejectReason::BadMagic);
         return out;
     }
     let mut d = Dec::new(&bytes[8..]);
     let version = d.u32().expect("header length checked");
     if version != SCHEMA_VERSION {
-        out.invalidated += 1;
+        out.rejected(RejectReason::StaleSchema { found: version });
         return out;
     }
     let corpus_fp = d.u64().expect("header length checked");
     out.scc_count = d.u32().expect("header length checked");
     let tier_a_len = d.u32().expect("header length checked") as usize;
     let Some(tier_a_payload) = d.take(tier_a_len) else {
-        out.invalidated += 1;
+        out.rejected(RejectReason::Corrupt);
         return out;
     };
     let Some(tier_a_sum) = d.u64() else {
-        out.invalidated += 1;
+        out.rejected(RejectReason::Corrupt);
         return out;
     };
     if checksum(tier_a_payload) != tier_a_sum {
         // The length field itself is no longer trustworthy, so neither
         // is any Tier B framing after it: stop here.
-        out.invalidated += 1;
+        out.rejected(RejectReason::Corrupt);
         return out;
     }
     if corpus_fp == expected_fp {
         match decode_tier_a(tier_a_payload, method_count) {
             Some(summaries) => out.tier_a = Some(summaries),
-            None => out.invalidated += 1,
+            None => out.rejected(RejectReason::MalformedPayload),
         }
     }
     // Walk the Tier B framing (cheap pointer arithmetic) so truncation
@@ -429,15 +472,15 @@ pub fn load(path: &Path, expected_fp: u64, method_count: usize) -> LoadedCache {
     let mut frames: Vec<(u64, &[u8], u64)> = Vec::new();
     while !d.done() {
         let (Some(key), Some(len)) = (d.u64(), d.u32()) else {
-            out.invalidated += 1;
+            out.rejected(RejectReason::Corrupt);
             break;
         };
         let Some(payload) = d.take(len as usize) else {
-            out.invalidated += 1;
+            out.rejected(RejectReason::Corrupt);
             break;
         };
         let Some(sum) = d.u64() else {
-            out.invalidated += 1;
+            out.rejected(RejectReason::Corrupt);
             break;
         };
         frames.push((key, payload, sum));
@@ -447,7 +490,7 @@ pub fn load(path: &Path, expected_fp: u64, method_count: usize) -> LoadedCache {
     }
     for (key, payload, sum) in frames {
         if checksum(payload) != sum {
-            out.invalidated += 1;
+            out.rejected(RejectReason::Corrupt);
             continue;
         }
         // Duplicate keys: last record wins, matching append semantics.
@@ -557,23 +600,64 @@ mod tests {
         let mut bytes = fs::read(&path).unwrap();
         bytes[0] ^= 0xff;
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(load(&path, 7, model.methods.len()).invalidated, 1);
+        let bad_magic = load(&path, 7, model.methods.len());
+        assert_eq!(bad_magic.invalidated, 1);
+        assert_eq!(bad_magic.reject, Some(RejectReason::BadMagic));
 
         let mut bytes = fs::read(&path).unwrap();
         bytes[0] ^= 0xff; // restore magic
-        bytes[8] ^= 0xff; // corrupt version
+        bytes[8] = (SCHEMA_VERSION - 1) as u8; // a previous-era schema
         fs::write(&path, &bytes).unwrap();
-        assert_eq!(load(&path, 7, model.methods.len()).invalidated, 1);
+        let stale = load(&path, 7, model.methods.len());
+        assert_eq!(stale.invalidated, 1);
+        assert_eq!(
+            stale.reject,
+            Some(RejectReason::StaleSchema {
+                found: SCHEMA_VERSION - 1
+            })
+        );
 
         let mut bytes = fs::read(&path).unwrap();
-        bytes[8] ^= 0xff; // restore version
+        bytes[8] = SCHEMA_VERSION as u8; // restore version
         let mid = HEADER_LEN + tier_a.len() / 2;
         bytes[mid] ^= 0xff; // corrupt the Tier A payload
         fs::write(&path, &bytes).unwrap();
         let poisoned = load(&path, 7, model.methods.len());
         assert_eq!(poisoned.invalidated, 1);
+        assert_eq!(poisoned.reject, Some(RejectReason::Corrupt));
         assert!(poisoned.tier_a.is_none());
 
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_predicate_bits_reject_the_payload() {
+        // A site whose predicate byte sets bits outside the current
+        // lattice must be a typed MalformedPayload rejection, not a
+        // silent mis-decode — that is how a *future* lattice's file
+        // self-invalidates even under an unchanged version number.
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let analysis = crate::leakcheck::LeakChecker::new(&model).analyze();
+        let ordered: Vec<MethodSummary> = model
+            .methods
+            .iter()
+            .map(|def| analysis.summaries[&def.id].clone())
+            .collect();
+        let mut tier_a = encode_tier_a(&ordered);
+        // Poison the final byte of the payload — the last encoded site's
+        // predicate byte.
+        assert!(decode_tier_a(&tier_a, model.methods.len()).is_some());
+        let last = tier_a.len() - 1;
+        tier_a[last] |= 0xf0;
+        assert!(
+            decode_tier_a(&tier_a, model.methods.len()).is_none(),
+            "unknown predicate bits must not decode"
+        );
+
+        let path = temp_path("predbits");
+        store(&path, 7, 1, &tier_a, &BTreeMap::new()).unwrap();
+        let loaded = load(&path, 7, model.methods.len());
+        assert_eq!(loaded.reject, Some(RejectReason::MalformedPayload));
         fs::remove_file(&path).ok();
     }
 

@@ -7,7 +7,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use jgre_corpus::{CodeModel, MethodId};
 
-use crate::ir::{BlockId, Cfg, Stmt};
+use crate::ir::{BlockId, Cfg, Stmt, Terminator};
 
 /// A join-semilattice value: `join` merges another state in and reports
 /// whether anything changed (the solver's convergence signal).
@@ -26,6 +26,13 @@ pub trait ForwardAnalysis {
 
     /// Apply one statement's effect to `state`.
     fn transfer(&self, stmt: &Stmt, state: &mut Self::State);
+
+    /// Apply the effect of taking the `succ_index`-th out-edge of a block
+    /// ending in `term`. This is where branch predicates are picked up:
+    /// a path-sensitive analysis refines the state differently along the
+    /// then- and else-edges of a labeled branch. The default is a no-op,
+    /// which recovers plain edge-insensitive propagation.
+    fn transfer_edge(&self, _term: &Terminator, _succ_index: usize, _state: &mut Self::State) {}
 }
 
 /// Fixpoint solution: per-block entry/exit states (`None` = unreachable).
@@ -78,14 +85,20 @@ pub fn solve_forward<A: ForwardAnalysis>(cfg: &Cfg, analysis: &A) -> Solution<A:
         if !changed {
             continue;
         }
-        for succ in cfg.successors(b) {
+        let term = cfg.blocks[b.0 as usize].term;
+        for (succ_index, succ) in cfg.successors(b).into_iter().enumerate() {
             let s = succ.0 as usize;
+            // Each out-edge gets its own copy of the exit state so the
+            // edge transfer (branch predicates) refines one successor
+            // without contaminating its sibling.
+            let mut edge_state = state.clone();
+            analysis.transfer_edge(&term, succ_index, &mut edge_state);
             let succ_changed = match &mut entry[s] {
                 None => {
-                    entry[s] = Some(state.clone());
+                    entry[s] = Some(edge_state);
                     true
                 }
-                Some(old) => old.join(&state),
+                Some(old) => old.join(&edge_state),
             };
             if succ_changed && !queued[s] {
                 queued[s] = true;

@@ -13,7 +13,7 @@ use jgre_corpus::spec::AospSpec;
 use jgre_corpus::CodeModel;
 
 use crate::leakcheck::{AnalysisOptions, DataflowDetector, LeakVerdict, Retention, SolverStats};
-use crate::witness::Witness;
+use crate::witness::{MinimisedFlows, Witness};
 use crate::{IpcMethodExtractor, JgrEntryExtractor, ServiceKind};
 
 /// Stable rule identifiers for lint findings.
@@ -28,6 +28,10 @@ pub enum RuleId {
     /// JGRE003 — retention bounded by a visible per-process limit
     /// (Table III); statically risky, dynamically refuted.
     BoundedRetention,
+    /// JGRE004 — the release exists but an early error return (failed
+    /// validation, denied permission) skips it: the reference leaks only
+    /// along the error path.
+    ErrorPathRelease,
 }
 
 impl RuleId {
@@ -37,6 +41,7 @@ impl RuleId {
             RuleId::UnboundedRetention => "JGRE001",
             RuleId::SignatureGatedRetention => "JGRE002",
             RuleId::BoundedRetention => "JGRE003",
+            RuleId::ErrorPathRelease => "JGRE004",
         }
     }
 
@@ -46,6 +51,7 @@ impl RuleId {
             RuleId::UnboundedRetention => "unbounded-jgr-retention",
             RuleId::SignatureGatedRetention => "signature-gated-jgr-retention",
             RuleId::BoundedRetention => "bounded-jgr-retention",
+            RuleId::ErrorPathRelease => "release-skipped-on-error-path",
         }
     }
 
@@ -64,6 +70,11 @@ impl RuleId {
                 "JGR retention is capped by a per-process limit checked before \
                  the store"
             }
+            RuleId::ErrorPathRelease => {
+                "the JNI global reference is released on the normal path but an \
+                 early error return skips the release; repeated failing calls \
+                 leak one reference each"
+            }
         }
     }
 
@@ -73,15 +84,19 @@ impl RuleId {
             RuleId::UnboundedRetention => Severity::Error,
             RuleId::SignatureGatedRetention => Severity::Note,
             RuleId::BoundedRetention => Severity::Warning,
+            // Attacker-forced error paths (a bad argument) make the leak
+            // just as reachable as the unconditional class.
+            RuleId::ErrorPathRelease => Severity::Error,
         }
     }
 
     /// All rules, id order.
-    pub fn all() -> [RuleId; 3] {
+    pub fn all() -> [RuleId; 4] {
         [
             RuleId::UnboundedRetention,
             RuleId::SignatureGatedRetention,
             RuleId::BoundedRetention,
+            RuleId::ErrorPathRelease,
         ]
     }
 }
@@ -125,6 +140,12 @@ pub struct Diagnostic {
     pub message: String,
     /// One checkable witness per retained allocation site.
     pub witnesses: Vec<Witness>,
+    /// Whether every retained site was *proven* bounded by a branch
+    /// predicate (`BOUND_CHECKED` on all retaining sites). Proven rows
+    /// stay visible as findings but are excluded from the predicted-leak
+    /// set the accuracy report scores — the path-sensitive precision
+    /// win.
+    pub proven: bool,
 }
 
 /// Precision/recall of the risky set against the spec's ground truth,
@@ -192,6 +213,8 @@ impl LintReport {
             }
             let rule = if row.signature_gated {
                 RuleId::SignatureGatedRetention
+            } else if row.verdict == LeakVerdict::ErrorPathLeak {
+                RuleId::ErrorPathRelease
             } else if row.verdict == LeakVerdict::UnboundedLeak {
                 RuleId::UnboundedRetention
             } else {
@@ -217,6 +240,7 @@ impl LintReport {
                 RuleId::UnboundedRetention => "without bound",
                 RuleId::SignatureGatedRetention => "behind a signature-level permission",
                 RuleId::BoundedRetention => "up to a per-process limit",
+                RuleId::ErrorPathRelease => "on its error path only",
             };
             diagnostics.push(Diagnostic {
                 rule,
@@ -234,6 +258,7 @@ impl LintReport {
                     if retained.len() == 1 { "" } else { "s" },
                 ),
                 witnesses,
+                proven: options.path_sensitive && row.proven_bounded(),
             });
         }
 
@@ -276,20 +301,50 @@ impl LintReport {
                         ("kind", s("function")),
                     ])]),
                 )]);
-                let code_flows = d
-                    .witnesses
+                // Multi-witness findings share most of their call chain;
+                // emit the first flow in full and elide the common prefix
+                // from the rest — readers follow the first flow for the
+                // shared steps, and `MinimisedFlows::expand` guarantees
+                // nothing is lost.
+                let minimised = MinimisedFlows::minimise(&d.witnesses);
+                let step_line = |line: String| {
+                    obj(vec![(
+                        "location",
+                        obj(vec![("message", obj(vec![("text", s(line))]))]),
+                    )])
+                };
+                let code_flows = minimised
+                    .suffixes
                     .iter()
-                    .map(|w| {
-                        let locations = w
-                            .render(model)
-                            .into_iter()
-                            .map(|line| {
-                                obj(vec![(
-                                    "location",
-                                    obj(vec![("message", obj(vec![("text", s(line))]))]),
-                                )])
-                            })
-                            .collect();
+                    .enumerate()
+                    .map(|(i, suffix)| {
+                        let mut lines: Vec<String> = Vec::new();
+                        if i == 0 || minimised.prefix.is_empty() {
+                            lines.extend(
+                                Witness {
+                                    steps: minimised
+                                        .prefix
+                                        .iter()
+                                        .chain(suffix.iter())
+                                        .cloned()
+                                        .collect(),
+                                }
+                                .render(model),
+                            );
+                        } else {
+                            lines.push(format!(
+                                "(shared prefix: {} step{} elided, see the first code flow)",
+                                minimised.prefix.len(),
+                                if minimised.prefix.len() == 1 { "" } else { "s" },
+                            ));
+                            lines.extend(
+                                Witness {
+                                    steps: suffix.clone(),
+                                }
+                                .render(model),
+                            );
+                        }
+                        let locations = lines.into_iter().map(step_line).collect();
                         obj(vec![(
                             "threadFlows",
                             Value::Array(vec![obj(vec![("locations", Value::Array(locations))])]),
@@ -357,12 +412,17 @@ impl LintReport {
 }
 
 /// Scores system-service findings against the spec's vulnerability flags.
+/// Rows whose retention was proven bounded by a branch predicate are not
+/// part of the predicted-leak set: the analysis established their cap
+/// statically, so counting them as predictions would charge a false
+/// positive for a correct proof.
 fn accuracy(diagnostics: &[Diagnostic], spec: &AospSpec) -> AccuracyReport {
     use std::collections::BTreeSet;
     let predicted: BTreeSet<(String, String)> = diagnostics
         .iter()
         .filter(|d| d.kind == ServiceKind::SystemService)
         .filter(|d| d.rule != RuleId::SignatureGatedRetention)
+        .filter(|d| !d.proven)
         .map(|d| (d.service.clone(), d.method.clone()))
         .collect();
     let truth: BTreeSet<(String, String)> = spec
@@ -413,13 +473,51 @@ mod tests {
     }
 
     #[test]
-    fn accuracy_matches_the_paper() {
+    fn accuracy_beats_the_paper_with_proven_bounds() {
+        // Path-sensitive scoring: the bounded three are *proven* capped
+        // (every retaining site behind a BOUND_CHECKED admission), so
+        // they leave the predicted set — precision 1.0 at recall 1.0.
         let (_, report) = report();
+        assert_eq!(report.accuracy.true_positives, 54);
+        assert_eq!(report.accuracy.false_positives, 0, "bounded three proven");
+        assert_eq!(report.accuracy.false_negatives, 0);
+        assert_eq!(report.accuracy.recall, 1.0);
+        assert_eq!(report.accuracy.precision, 1.0);
+        let proven: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.proven)
+            .map(|d| format!("{}.{}", d.service, d.method))
+            .collect();
+        assert_eq!(
+            proven,
+            [
+                "display.registerCallback",
+                "input.registerInputDevicesChangedListener",
+                "input.registerTabletModeChangedListener",
+            ],
+            "exactly the bounded three are proven"
+        );
+    }
+
+    #[test]
+    fn path_insensitive_accuracy_pins_the_boolean_era_score() {
+        // Regression baseline: with predicate reading off, no row is
+        // proven and the bounded three come back as false positives —
+        // the paper's own static score.
+        let spec = AospSpec::android_6_0_1();
+        let model = CodeModel::synthesize(&spec);
+        let report = LintReport::generate_with(
+            &model,
+            &spec,
+            &AnalysisOptions::default().path_insensitive(),
+        );
         assert_eq!(report.accuracy.true_positives, 54);
         assert_eq!(report.accuracy.false_positives, 3, "the bounded three");
         assert_eq!(report.accuracy.false_negatives, 0);
         assert_eq!(report.accuracy.recall, 1.0);
         assert!((report.accuracy.precision - 54.0 / 57.0).abs() < 1e-12);
+        assert!(report.diagnostics.iter().all(|d| !d.proven));
     }
 
     #[test]
@@ -433,6 +531,35 @@ mod tests {
         // Signature-gated retention exists in the corpus (Table V's
         // permission-protected listeners).
         assert!(count(RuleId::SignatureGatedRetention) >= 2);
+        // The base corpus has no error-path shape; JGRE004 only fires on
+        // the extension fixture.
+        assert_eq!(count(RuleId::ErrorPathRelease), 0);
+    }
+
+    #[test]
+    fn error_path_fixture_yields_jgre004_findings() {
+        let spec = AospSpec::android_6_0_1();
+        let model = CodeModel::synthesize_with_error_paths(&spec);
+        let report = LintReport::generate(&model, &spec);
+        let jgre004: Vec<&Diagnostic> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == RuleId::ErrorPathRelease)
+            .collect();
+        assert!(jgre004.len() >= 3, "found {}", jgre004.len());
+        for d in &jgre004 {
+            assert_eq!(d.verdict, LeakVerdict::ErrorPathLeak);
+            assert_eq!(d.rule.severity(), Severity::Error);
+            assert!(!d.witnesses.is_empty(), "{}.{}", d.service, d.method);
+            for w in &d.witnesses {
+                w.validate(&model)
+                    .unwrap_or_else(|e| panic!("{}.{}: {e}", d.service, d.method));
+            }
+        }
+        // The fixture must not disturb the base accuracy.
+        assert_eq!(report.accuracy.true_positives, 54);
+        assert_eq!(report.accuracy.false_positives, 0);
+        assert_eq!(report.accuracy.false_negatives, 0);
     }
 
     #[test]
@@ -467,7 +594,7 @@ mod tests {
         );
         assert_eq!(
             driver.get("rules").and_then(Value::as_array).unwrap().len(),
-            3
+            4
         );
         let results = runs[0].get("results").and_then(Value::as_array).unwrap();
         assert_eq!(results.len(), report.diagnostics.len());
@@ -475,5 +602,47 @@ mod tests {
             let flows = result.get("codeFlows").and_then(Value::as_array).unwrap();
             assert!(!flows.is_empty(), "finding without a code flow");
         }
+    }
+
+    #[test]
+    fn sarif_elides_shared_prefixes_after_the_first_flow() {
+        let (model, report) = report();
+        let sarif = report.to_sarif(&model);
+        let runs = sarif.get("runs").and_then(Value::as_array).unwrap();
+        let results = runs[0].get("results").and_then(Value::as_array).unwrap();
+        let flow_lines = |flow: &Value| -> Vec<String> {
+            flow.get("threadFlows").and_then(Value::as_array).unwrap()[0]
+                .get("locations")
+                .and_then(Value::as_array)
+                .unwrap()
+                .iter()
+                .map(|l| {
+                    l.get("location")
+                        .unwrap()
+                        .get("message")
+                        .unwrap()
+                        .get("text")
+                        .and_then(Value::as_str)
+                        .unwrap()
+                        .to_owned()
+                })
+                .collect()
+        };
+        let mut elided_seen = 0usize;
+        for result in results {
+            let flows = result.get("codeFlows").and_then(Value::as_array).unwrap();
+            // The first flow is always complete: entry to sink.
+            let first = flow_lines(&flows[0]);
+            assert!(first[0].starts_with("IPC entry "));
+            assert!(first.last().unwrap().contains("inserts the JGR"));
+            for flow in &flows[1..] {
+                let lines = flow_lines(flow);
+                if lines[0].contains("elided") {
+                    elided_seen += 1;
+                    assert!(lines.last().unwrap().contains("inserts the JGR"));
+                }
+            }
+        }
+        assert!(elided_seen > 0, "no multi-witness finding shared a prefix");
     }
 }

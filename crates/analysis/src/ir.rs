@@ -6,7 +6,7 @@
 //! [`Terminator`]. The dataflow solver in [`dataflow`](crate::dataflow)
 //! iterates over this representation.
 
-use jgre_corpus::body::{AllocSite, BodyStmt, FieldKind, MethodBody, Place, Var};
+use jgre_corpus::body::{AllocSite, BodyStmt, BranchKind, FieldKind, MethodBody, Place, Var};
 use jgre_corpus::{CodeModel, MethodDef, MethodId};
 use serde::{Deserialize, Serialize};
 
@@ -128,6 +128,9 @@ pub fn method_fact_fingerprint(model: &CodeModel, def: &MethodDef, jgr_entry: bo
             ParamUsage::LocalOnly => 2,
             ParamUsage::ReadOnlyMapKey => 3,
             ParamUsage::AssignedToMemberField => 4,
+            ParamUsage::ReleaseSkippedOnError => 5,
+            ParamUsage::PermissionGatedRelease => 6,
+            ParamUsage::NullCheckGatedStore => 7,
         });
     }
     for (edges, tag) in [(&def.calls, 0u8), (&def.handler_posts, 1u8)] {
@@ -218,11 +221,15 @@ pub enum Stmt {
 pub enum Terminator {
     /// Unconditional jump.
     Goto(BlockId),
-    /// Two-way branch (the bound-check pattern).
+    /// Two-way branch. `kind` is the predicate label lowered from the
+    /// body's [`BranchKind`]: edge transfers in the leak analysis turn it
+    /// into per-branch predicates (bound/permission/null/error).
     Branch {
-        /// Under-limit successor.
+        /// What the condition tests.
+        kind: BranchKind,
+        /// Check-passed successor.
         then_: BlockId,
-        /// Over-limit successor.
+        /// Check-failed successor.
         else_: BlockId,
     },
     /// Method exit.
@@ -285,7 +292,7 @@ impl Cfg {
     pub fn successors(&self, b: BlockId) -> Vec<BlockId> {
         match self.blocks[b.0 as usize].term {
             Terminator::Goto(t) => vec![t],
-            Terminator::Branch { then_, else_ } => vec![then_, else_],
+            Terminator::Branch { then_, else_, .. } => vec![then_, else_],
             Terminator::Return => Vec::new(),
         }
     }
@@ -364,8 +371,14 @@ impl Cfg {
                     h.write_u8(0);
                     h.write_u32(t.0);
                 }
-                Terminator::Branch { then_, else_ } => {
+                Terminator::Branch { kind, then_, else_ } => {
                     h.write_u8(1);
+                    h.write_u8(match kind {
+                        BranchKind::BoundCheck => 0,
+                        BranchKind::PermissionCheck => 1,
+                        BranchKind::NullCheck => 2,
+                        BranchKind::ErrorCheck => 3,
+                    });
                     h.write_u32(then_.0);
                     h.write_u32(else_.0);
                 }
@@ -451,12 +464,17 @@ impl Lowerer {
                     },
                 ),
                 BodyStmt::If {
+                    kind,
                     then_branch,
                     else_branch,
                 } => {
                     let then_ = self.new_block();
                     let else_ = self.new_block();
-                    self.blocks[cur.0 as usize].1 = Some(Terminator::Branch { then_, else_ });
+                    self.blocks[cur.0 as usize].1 = Some(Terminator::Branch {
+                        kind: *kind,
+                        then_,
+                        else_,
+                    });
                     let t_end = self.lower_seq(then_branch, then_);
                     let e_end = self.lower_seq(else_branch, else_);
                     match (t_end, e_end) {
@@ -585,6 +603,53 @@ mod tests {
         assert_ne!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[2, 1]));
         assert_ne!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[1, 2, 3]));
         assert_eq!(corpus_fingerprint(&[1, 2]), corpus_fingerprint(&[1, 2]));
+    }
+
+    #[test]
+    fn error_path_shapes_lower_with_labeled_branches_and_two_exits() {
+        let model = CodeModel::synthesize_with_error_paths(&AospSpec::android_6_0_1());
+        let id = model
+            .find_method(jgre_corpus::ERROR_PATH_CLASS, "registerOnError")
+            .unwrap();
+        let cfg = Cfg::lower(&model.method_body(id));
+        assert!(cfg.blocks.iter().any(|b| matches!(
+            b.term,
+            Terminator::Branch {
+                kind: BranchKind::ErrorCheck,
+                ..
+            }
+        )));
+        // The early error return is a second, distinct exit block.
+        let exits = cfg
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Return))
+            .count();
+        assert_eq!(exits, 2, "early return creates a second exit");
+    }
+
+    #[test]
+    fn branch_kind_is_part_of_the_cfg_fingerprint() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let body = MethodBody {
+            stmts: vec![
+                BodyStmt::If {
+                    kind: BranchKind::NullCheck,
+                    then_branch: vec![],
+                    else_branch: vec![],
+                },
+                BodyStmt::Return,
+            ],
+        };
+        let mut relabeled = body.clone();
+        let BodyStmt::If { kind, .. } = &mut relabeled.stmts[0] else {
+            unreachable!();
+        };
+        *kind = BranchKind::ErrorCheck;
+        assert_ne!(
+            Cfg::lower(&body).fingerprint(&model),
+            Cfg::lower(&relabeled).fingerprint(&model),
+        );
     }
 
     #[test]

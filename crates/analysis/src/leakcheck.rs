@@ -9,6 +9,14 @@
 //! SCC condensation (recursive cliques iterate to their own fixpoint),
 //! so a caller sees the allocation fates of everything it can reach.
 //!
+//! The pass is *path-sensitive*: every tracked reference, callee edge,
+//! and path carries a [`PredSet`] — a small must-predicate vector
+//! (bound-checked, permission-checked, null-checked, error-path) picked
+//! up from labeled branch edges. A check therefore clears or caps the
+//! individual sites stored under it instead of muting the whole method,
+//! and a release skipped by an early error return surfaces as its own
+//! leak class ([`LeakVerdict::ErrorPathLeak`], SARIF rule `JGRE004`).
+//!
 //! [`DataflowDetector`] adapts the verdicts to the legacy
 //! [`VulnerableIpcDetector`](crate::VulnerableIpcDetector) output shape;
 //! the heuristic detector is kept as a cross-check oracle (see
@@ -17,7 +25,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::path::PathBuf;
 
-use jgre_corpus::body::{AllocSite, FieldKind, Place, Var};
+use jgre_corpus::body::{AllocSite, BranchKind, FieldKind, Place, Var};
 use jgre_corpus::spec::ProtectionLevel;
 use jgre_corpus::{CodeModel, MethodId};
 use serde::{Deserialize, Serialize};
@@ -30,6 +38,83 @@ use crate::ir::{
     corpus_fingerprint, method_fact_fingerprints, Cfg, StableHasher, Stmt, Terminator,
 };
 use crate::{DetectorOutput, IpcMethod, JgrEntrySets, RiskyInterface, SiftReason};
+
+/// A small set of branch predicates, as *must*-information: a bit is set
+/// when every path reaching the program point (or retaining the site)
+/// passed that check. Joins at CFG merges intersect, so a predicate
+/// survives only when it holds on all paths.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct PredSet(u8);
+
+impl PredSet {
+    /// The empty set: unconditional.
+    pub const NONE: PredSet = PredSet(0);
+    /// The path passed a per-process bound admission — retention behind
+    /// it is capped by the same bound.
+    pub const BOUND_CHECKED: PredSet = PredSet(1);
+    /// The path passed an `enforceCallingPermission`-style check.
+    pub const PERMISSION_CHECKED: PredSet = PredSet(1 << 1);
+    /// The path passed a null check on the binder argument.
+    pub const NULL_CHECKED: PredSet = PredSet(1 << 2);
+    /// The path is an error path: a failed validation or a denied
+    /// permission check — where a skipped release becomes `JGRE004`.
+    pub const ERROR_PATH: PredSet = PredSet(1 << 3);
+
+    const ALL_BITS: u8 = 0b1111;
+
+    /// Union with `other`.
+    #[must_use]
+    pub fn with(self, other: PredSet) -> PredSet {
+        PredSet(self.0 | other.0)
+    }
+
+    /// Intersection with `other` — the join of must-information.
+    #[must_use]
+    pub fn meet(self, other: PredSet) -> PredSet {
+        PredSet(self.0 & other.0)
+    }
+
+    /// Whether every predicate in `other` also holds in `self`.
+    pub fn contains(self, other: PredSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Whether no predicate holds.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bits, for the on-disk cache encoding.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Rebuilds from raw bits; `None` when unknown bits are set — the
+    /// typed rejection the cache decoder relies on for stale lattices.
+    pub fn from_bits(bits: u8) -> Option<PredSet> {
+        (bits & !Self::ALL_BITS == 0).then_some(PredSet(bits))
+    }
+
+    /// Human-readable predicate labels, for diagnostics.
+    pub fn labels(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.contains(Self::BOUND_CHECKED) {
+            out.push("bound-checked");
+        }
+        if self.contains(Self::PERMISSION_CHECKED) {
+            out.push("permission-checked");
+        }
+        if self.contains(Self::NULL_CHECKED) {
+            out.push("null-checked");
+        }
+        if self.contains(Self::ERROR_PATH) {
+            out.push("error-path");
+        }
+        out
+    }
+}
 
 /// Net effect of one allocation site on the process's JGR footprint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -70,6 +155,11 @@ pub struct SiteSummary {
     /// Whether the reference was (also) used as a read-only map key —
     /// relevant to the member-replacement proof (rule 4 excludes it).
     pub read_only_key: bool,
+    /// Must-predicates guarding the retention: every path on which this
+    /// site retains its reference passed these checks. `BOUND_CHECKED`
+    /// proves the retention capped; `ERROR_PATH` means the reference
+    /// only survives along an error path that skipped its release.
+    pub preds: PredSet,
 }
 
 /// Bottom-up summary of one method: every allocation site reachable from
@@ -111,9 +201,9 @@ pub struct SolverStats {
     pub cache_invalidated: u64,
 }
 
-/// Knobs for one analysis run; the default is serial and uncached —
-/// byte-for-byte the legacy `analyze()` behavior.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// Knobs for one analysis run; the default is serial, uncached, and
+/// path-sensitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AnalysisOptions {
     /// Directory holding the persistent summary cache
     /// ([`cache::CACHE_FILE`] inside it). `None` disables caching.
@@ -121,6 +211,22 @@ pub struct AnalysisOptions {
     /// Worker threads for the per-wave SCC fan-out; `None` or `Some(1)`
     /// runs serial. Results are identical for every thread count.
     pub threads: Option<usize>,
+    /// Derive predicate-aware verdicts: error-path leaks get their own
+    /// class (`JGRE004`) and bound-checked sites count as proven. `false`
+    /// reproduces the boolean-era derivation — summaries (and therefore
+    /// the cache) are identical either way; only the verdict and
+    /// diagnostic layers read the flag.
+    pub path_sensitive: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        Self {
+            cache_dir: None,
+            threads: None,
+            path_sensitive: true,
+        }
+    }
 }
 
 impl AnalysisOptions {
@@ -128,13 +234,21 @@ impl AnalysisOptions {
     pub fn with_cache_dir(dir: impl Into<PathBuf>) -> Self {
         Self {
             cache_dir: Some(dir.into()),
-            threads: None,
+            ..Self::default()
         }
     }
 
     /// Sets the wave worker-thread count.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Turns off predicate-aware verdict derivation (the boolean-era
+    /// behavior) — the baseline the subset property tests compare
+    /// against.
+    pub fn path_insensitive(mut self) -> Self {
+        self.path_sensitive = false;
         self
     }
 }
@@ -157,6 +271,10 @@ pub enum LeakVerdict {
     /// Retention is real but provably bounded by a per-process limit;
     /// statically risky, dynamic verification decides (Table III).
     BoundedRetention,
+    /// Every unbounded site leaks only along an error path that skipped
+    /// its release (early return / denied permission) — the
+    /// conditional-release class, SARIF rule `JGRE004`.
+    ErrorPathLeak,
     /// At least one allocation site is retained without bound.
     UnboundedLeak,
 }
@@ -166,7 +284,7 @@ impl LeakVerdict {
     pub fn is_risky(self) -> bool {
         matches!(
             self,
-            LeakVerdict::BoundedRetention | LeakVerdict::UnboundedLeak
+            LeakVerdict::BoundedRetention | LeakVerdict::ErrorPathLeak | LeakVerdict::UnboundedLeak
         )
     }
 
@@ -178,7 +296,9 @@ impl LeakVerdict {
             LeakVerdict::ThreadCreateRelease => Some(SiftReason::ThreadCreateOnly),
             LeakVerdict::TransientParams => Some(SiftReason::TransientUsage),
             LeakVerdict::MemberReplacement => Some(SiftReason::ReplacedMember),
-            LeakVerdict::BoundedRetention | LeakVerdict::UnboundedLeak => None,
+            LeakVerdict::BoundedRetention
+            | LeakVerdict::ErrorPathLeak
+            | LeakVerdict::UnboundedLeak => None,
         }
     }
 }
@@ -203,22 +323,30 @@ enum VarState {
 }
 
 /// Abstract state at one program point.
+///
+/// Predicates are tracked at three granularities, which is what fixes
+/// the old over-wide boolean `guard`: `path` is the must-predicate set
+/// of the current path, each var carries the predicates under which it
+/// reached its current lattice value, and each callee edge carries the
+/// predicates that guarded the call. Joining two paths intersects each
+/// of those *independently*, so losing a predicate on one path no longer
+/// strips it from sites and calls that were individually guarded.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 struct LeakState {
-    /// Lattice value per register.
-    vars: BTreeMap<Var, VarState>,
+    /// Lattice value per register, with the must-predicates under which
+    /// the register reached that value.
+    vars: BTreeMap<Var, (VarState, PredSet)>,
     /// Fields whose previous value was released and not yet overwritten
     /// (must-information: intersected at joins).
     cleared: BTreeSet<String>,
     /// Registers used as read-only map keys.
     key_use: BTreeSet<Var>,
-    /// Callees invoked on some path; the flag is true when *every* path
-    /// reaching the call first passed a per-process bound admission —
-    /// such callees' retention is capped by the same bound.
-    called: BTreeMap<MethodId, bool>,
-    /// Whether the path passed a bound-check admission (a bounded
-    /// collection store) — must-information, ANDed at joins.
-    guard: bool,
+    /// Callees invoked on some path, with the must-predicates that
+    /// guarded every call — a callee only reached under `BOUND_CHECKED`
+    /// has its retention capped by that same bound.
+    called: BTreeMap<MethodId, PredSet>,
+    /// Must-predicates of the current path (intersected at joins).
+    path: PredSet,
     /// Whether a Handler-post edge was taken.
     handler: bool,
 }
@@ -226,17 +354,25 @@ struct LeakState {
 impl JoinSemiLattice for LeakState {
     fn join(&mut self, other: &Self) -> bool {
         let mut changed = false;
-        for (v, s) in &other.vars {
+        for (v, (s, p)) in &other.vars {
             match self.vars.get_mut(v) {
                 None => {
-                    self.vars.insert(*v, *s);
+                    self.vars.insert(*v, (*s, *p));
                     changed = true;
                 }
-                Some(cur) if *cur < *s => {
-                    *cur = *s;
-                    changed = true;
+                Some((cur, cp)) => {
+                    if *cur < *s {
+                        *cur = *s;
+                        *cp = *p;
+                        changed = true;
+                    } else if *cur == *s {
+                        let met = cp.meet(*p);
+                        if met != *cp {
+                            *cp = met;
+                            changed = true;
+                        }
+                    }
                 }
-                Some(_) => {}
             }
         }
         let before = self.cleared.len();
@@ -245,21 +381,24 @@ impl JoinSemiLattice for LeakState {
         for k in &other.key_use {
             changed |= self.key_use.insert(*k);
         }
-        for (c, guarded) in &other.called {
+        for (c, p) in &other.called {
             match self.called.get_mut(c) {
                 None => {
-                    self.called.insert(*c, *guarded);
+                    self.called.insert(*c, *p);
                     changed = true;
                 }
-                Some(cur) if *cur && !*guarded => {
-                    *cur = false;
-                    changed = true;
+                Some(cur) => {
+                    let met = cur.meet(*p);
+                    if met != *cur {
+                        *cur = met;
+                        changed = true;
+                    }
                 }
-                Some(_) => {}
             }
         }
-        if self.guard && !other.guard {
-            self.guard = false;
+        let met = self.path.meet(other.path);
+        if met != self.path {
+            self.path = met;
             changed = true;
         }
         if other.handler && !self.handler {
@@ -282,10 +421,10 @@ impl ForwardAnalysis for LeakBodyAnalysis {
     fn transfer(&self, stmt: &Stmt, state: &mut LeakState) {
         match stmt {
             Stmt::AllocJgr { dst, .. } => {
-                state.vars.insert(*dst, VarState::Live);
+                state.vars.insert(*dst, (VarState::Live, state.path));
             }
             Stmt::ReleaseJgr { src: Place::Var(v) } => {
-                state.vars.insert(*v, VarState::Released);
+                state.vars.insert(*v, (VarState::Released, state.path));
             }
             Stmt::ReleaseJgr {
                 src: Place::Field(f),
@@ -293,9 +432,17 @@ impl ForwardAnalysis for LeakBodyAnalysis {
                 state.cleared.insert(f.clone());
             }
             Stmt::StoreField { src, field, kind } => {
+                // Escalation stamps the *current* path predicates onto the
+                // var when it climbs; re-reaching the same value only keeps
+                // the predicates both occurrences agree on.
                 let escalate = |state: &mut LeakState, v: Var, to: VarState| {
-                    let cur = state.vars.entry(v).or_insert(VarState::Live);
-                    *cur = (*cur).max(to);
+                    let path = state.path;
+                    let entry = state.vars.entry(v).or_insert((VarState::Live, path));
+                    if to > entry.0 {
+                        *entry = (to, path);
+                    } else if to == entry.0 {
+                        entry.1 = entry.1.meet(path);
+                    }
                 };
                 match kind {
                     FieldKind::Collection { bounded: false } => {
@@ -305,7 +452,7 @@ impl ForwardAnalysis for LeakBodyAnalysis {
                         escalate(state, *src, VarState::EscapedBounded);
                         // The path passed the bound admission: whatever
                         // runs after it on this path is capped too.
-                        state.guard = true;
+                        state.path = state.path.with(PredSet::BOUND_CHECKED);
                     }
                     FieldKind::MapKeyReadOnly => {
                         // A key lookup does not retain the reference.
@@ -329,16 +476,34 @@ impl ForwardAnalysis for LeakBodyAnalysis {
                 callee,
                 via_handler,
             } => {
-                let guarded = state.guard;
+                let path = state.path;
                 match state.called.get_mut(callee) {
                     None => {
-                        state.called.insert(*callee, guarded);
+                        state.called.insert(*callee, path);
                     }
-                    Some(cur) => *cur &= guarded,
+                    Some(cur) => *cur = cur.meet(path),
                 }
                 state.handler |= *via_handler;
             }
         }
+    }
+
+    fn transfer_edge(&self, term: &Terminator, succ_index: usize, state: &mut LeakState) {
+        let Terminator::Branch { kind, .. } = *term else {
+            return;
+        };
+        // Successor 0 is the then-edge, successor 1 the else-edge (the
+        // lowering order in `Cfg::lower`). Each labeled branch establishes
+        // its predicate on exactly one side.
+        let pred = match (kind, succ_index) {
+            (BranchKind::BoundCheck, 0) => PredSet::BOUND_CHECKED,
+            (BranchKind::PermissionCheck, 0) => PredSet::PERMISSION_CHECKED,
+            (BranchKind::PermissionCheck, _) => PredSet::ERROR_PATH,
+            (BranchKind::NullCheck, 0) => PredSet::NULL_CHECKED,
+            (BranchKind::ErrorCheck, 1) => PredSet::ERROR_PATH,
+            _ => PredSet::NONE,
+        };
+        state.path = state.path.with(pred);
     }
 }
 
@@ -695,6 +860,19 @@ impl<'m> LeakChecker<'m> {
     }
 }
 
+/// Lowers and solves every method body intraprocedurally and returns the
+/// total number of solver block transfers — a deterministic cost probe
+/// for benchmarking the predicate lattice against simpler baselines on
+/// equal terms (same lowering, same worklist, same corpus).
+pub fn intra_solver_cost(model: &CodeModel) -> u64 {
+    let mut iterations = 0u64;
+    for def in &model.methods {
+        let (_, _, iters) = solve_intra(model, def.id);
+        iterations += iters;
+    }
+    iterations
+}
+
 /// Lowers and solves one method's body.
 fn solve_intra(model: &CodeModel, id: MethodId) -> (IntraResult, usize, u64) {
     let cfg = Cfg::lower(&model.method_body(id));
@@ -708,10 +886,23 @@ fn solve_intra(model: &CodeModel, id: MethodId) -> (IntraResult, usize, u64) {
         let Some(exit) = &solution.exit[i] else {
             continue;
         };
+        let mut exit = exit.clone();
+        // A var still Live at this return leaks *at this exit*: stamp the
+        // exit path's predicates onto it so an early error return that
+        // bypasses the release is distinguishable from the normal exit.
+        // Escaped vars keep their store-time predicates — the exit path
+        // may have acquired predicates after the store that never guarded
+        // it.
+        let exit_path = exit.path;
+        for (st, preds) in exit.vars.values_mut() {
+            if *st == VarState::Live {
+                *preds = preds.with(exit_path);
+            }
+        }
         match &mut final_state {
-            None => final_state = Some(exit.clone()),
+            None => final_state = Some(exit),
             Some(acc) => {
-                acc.join(exit);
+                acc.join(&exit);
             }
         }
     }
@@ -751,17 +942,21 @@ fn fold_summary(
             let key = old.read_only_key || s.read_only_key;
             if s.fate > old.fate {
                 *old = s;
+            } else if s.fate == old.fate {
+                // Same worst fate reached along two routes: keep only the
+                // predicates every route agrees on.
+                old.preds = old.preds.meet(s.preds);
             }
             old.read_only_key = key;
         }
     };
     for (var, site) in &intra.var_sites {
-        let state = intra
+        let (state, preds) = intra
             .final_state
             .vars
             .get(var)
             .copied()
-            .unwrap_or(VarState::Live);
+            .unwrap_or((VarState::Live, PredSet::NONE));
         let (fate, escape) = match state {
             VarState::Released => (Retention::Released, None),
             // Still live at exit: the reference outlives the activation
@@ -779,10 +974,11 @@ fn fold_summary(
             fate,
             escape,
             read_only_key: intra.final_state.key_use.contains(var),
+            preds,
         });
     }
     let mut saw_handler = intra.final_state.handler;
-    for (callee, guarded) in &intra.final_state.called {
+    for (callee, call_preds) in &intra.final_state.called {
         let Some(cs) = local
             .get(callee)
             .or_else(|| global[callee.0 as usize].as_ref())
@@ -792,10 +988,12 @@ fn fold_summary(
         saw_handler |= cs.saw_handler;
         for s in &cs.sites {
             let mut s = s.clone();
-            // A callee only ever reached through a bound admission
-            // inherits the bound: its retention cannot exceed the
-            // per-process limit.
-            if *guarded && s.fate == Retention::Unbounded {
+            // The caller's call-site predicates guard everything the
+            // callee does: a callee only ever reached through a bound
+            // admission inherits the bound — its retention cannot exceed
+            // the per-process limit.
+            s.preds = s.preds.with(*call_preds);
+            if s.preds.contains(PredSet::BOUND_CHECKED) && s.fate == Retention::Unbounded {
                 s.fate = Retention::Bounded;
             }
             merge(s);
@@ -817,8 +1015,21 @@ impl LeakAnalysis {
         &self.summaries[&id]
     }
 
-    /// Derives the sift verdict for an IPC root from reference fates.
+    /// Derives the sift verdict for an IPC root from reference fates,
+    /// reading the per-site predicates ([`LeakAnalysis::verdict_for`]
+    /// with path sensitivity on).
     pub fn verdict_for(&self, root: MethodId) -> LeakVerdict {
+        self.verdict_for_with(root, true)
+    }
+
+    /// [`LeakAnalysis::verdict_for`] with path sensitivity as a knob.
+    ///
+    /// Summaries always carry predicates; the knob only controls whether
+    /// the verdict *reads* them. With `path_sensitive` off, every
+    /// unbounded site is a plain [`LeakVerdict::UnboundedLeak`] — the
+    /// pre-predicate behaviour, kept as the soundness baseline the
+    /// path-sensitive findings must be a subset of.
+    pub fn verdict_for_with(&self, root: MethodId, path_sensitive: bool) -> LeakVerdict {
         let Some(summary) = self.summaries.get(&root) else {
             return LeakVerdict::NoJgr;
         };
@@ -827,6 +1038,17 @@ impl LeakAnalysis {
             return LeakVerdict::NoJgr;
         }
         if sites.iter().any(|s| s.fate == Retention::Unbounded) {
+            let unbounded = sites.iter().filter(|s| s.fate == Retention::Unbounded);
+            if path_sensitive
+                && unbounded
+                    .clone()
+                    .all(|s| s.preds.contains(PredSet::ERROR_PATH))
+            {
+                // Every unbounded site leaks only on an error return that
+                // skipped the release: still a leak, but a distinct class
+                // (JGRE004) — the normal path releases correctly.
+                return LeakVerdict::ErrorPathLeak;
+            }
             return LeakVerdict::UnboundedLeak;
         }
         if sites.iter().any(|s| {
@@ -884,6 +1106,29 @@ pub struct VerdictRow {
     /// Whether a signature-level permission gates the method (sifted by
     /// the permission filter regardless of the verdict).
     pub signature_gated: bool,
+}
+
+impl VerdictRow {
+    /// Whether every retained site of a [`LeakVerdict::BoundedRetention`]
+    /// verdict was *proven* bounded by a branch predicate — each
+    /// retaining site sits behind a `BOUND_CHECKED` admission. Such rows
+    /// are capped by construction, so a path-sensitive report can drop
+    /// them from the predicted-leak set instead of counting them as
+    /// findings.
+    pub fn proven_bounded(&self) -> bool {
+        if self.verdict != LeakVerdict::BoundedRetention {
+            return false;
+        }
+        let retained: Vec<&SiteSummary> = self
+            .sites
+            .iter()
+            .filter(|s| s.fate != Retention::Released)
+            .collect();
+        !retained.is_empty()
+            && retained
+                .iter()
+                .all(|s| s.preds.contains(PredSet::BOUND_CHECKED))
+    }
 }
 
 /// Output of the dataflow-backed detector.
@@ -980,7 +1225,7 @@ impl<'m> DataflowDetector<'m> {
             };
             let def = self.model.method(root);
             let summary = analysis.summary(root);
-            let verdict = analysis.verdict_for(root);
+            let verdict = analysis.verdict_for_with(root, options.path_sensitive);
             let signature_gated = def
                 .permission_checks
                 .iter()
@@ -1128,6 +1373,10 @@ mod tests {
             .expect("the callback argument is an allocation site");
         assert_eq!(param.fate, Retention::Bounded);
         assert_eq!(param.escape, Some(EscapeKind::BoundedCollection));
+        assert!(
+            param.preds.contains(PredSet::BOUND_CHECKED),
+            "the bounded store records its admission predicate"
+        );
         // The death recipient pinned by the guarded registration chain is
         // capped by the same admission bound.
         let recipient = sites
@@ -1136,5 +1385,125 @@ mod tests {
             .expect("the registration chain pins a death recipient");
         assert_eq!(recipient.fate, Retention::Bounded);
         assert_eq!(recipient.escape, Some(EscapeKind::UnboundedCollection));
+        assert!(
+            recipient.preds.contains(PredSet::BOUND_CHECKED),
+            "callee sites inherit the call-site admission predicate"
+        );
+    }
+
+    #[test]
+    fn predset_is_a_meet_semilattice_on_bits() {
+        let a = PredSet::BOUND_CHECKED.with(PredSet::NULL_CHECKED);
+        let b = PredSet::BOUND_CHECKED.with(PredSet::ERROR_PATH);
+        assert_eq!(a.meet(b), PredSet::BOUND_CHECKED);
+        assert!(a.contains(PredSet::BOUND_CHECKED));
+        assert!(!a.contains(PredSet::ERROR_PATH));
+        assert!(PredSet::NONE.is_empty());
+        assert_eq!(PredSet::from_bits(a.bits()), Some(a));
+        assert_eq!(PredSet::from_bits(0b1_0000), None, "unknown bit rejected");
+        assert_eq!(a.labels(), vec!["bound-checked", "null-checked"]);
+    }
+
+    #[test]
+    fn join_keeps_predicates_per_site_not_per_state() {
+        // Regression for the boolean-guard era: joining an unguarded path
+        // used to clear the guard for the *whole* state, muting predicates
+        // on sites and callees the unguarded path never touched.
+        let mut guarded = LeakState {
+            path: PredSet::BOUND_CHECKED,
+            ..LeakState::default()
+        };
+        guarded
+            .vars
+            .insert(0, (VarState::EscapedBounded, PredSet::BOUND_CHECKED));
+        guarded.called.insert(MethodId(7), PredSet::BOUND_CHECKED);
+
+        let mut plain = LeakState::default();
+        plain.vars.insert(1, (VarState::Live, PredSet::NONE));
+
+        let changed = guarded.join(&plain);
+        assert!(changed);
+        // The merged *path* predicate is must-information and drops...
+        assert_eq!(guarded.path, PredSet::NONE);
+        // ...but the per-site and per-callee predicates survive: the
+        // unguarded path never reached them.
+        assert_eq!(
+            guarded.vars[&0],
+            (VarState::EscapedBounded, PredSet::BOUND_CHECKED)
+        );
+        assert_eq!(guarded.called[&MethodId(7)], PredSet::BOUND_CHECKED);
+    }
+
+    #[test]
+    fn error_path_shapes_get_error_path_verdicts() {
+        use jgre_corpus::{error_path_cases, ERROR_PATH_CLASS};
+        let model = CodeModel::synthesize_with_error_paths(&AospSpec::android_6_0_1());
+        let analysis = LeakChecker::new(&model).analyze();
+        for (class, name) in error_path_cases() {
+            let id = model.find_method(class, name).unwrap();
+            assert_eq!(
+                analysis.verdict_for(id),
+                LeakVerdict::ErrorPathLeak,
+                "{name} leaks only on its error path"
+            );
+            let sites = &analysis.summary(id).sites;
+            assert!(sites
+                .iter()
+                .filter(|s| s.fate == Retention::Unbounded)
+                .all(|s| s.preds.contains(PredSet::ERROR_PATH)));
+            // Path-insensitive reading degrades to the plain leak class.
+            assert_eq!(
+                analysis.verdict_for_with(id, false),
+                LeakVerdict::UnboundedLeak
+            );
+        }
+        // Controls: the null-check-gated store is a genuine unconditional
+        // leak (the check does not guard the retention)...
+        let null_gated = model
+            .find_method(ERROR_PATH_CLASS, "addNonNullObserver")
+            .unwrap();
+        assert_eq!(analysis.verdict_for(null_gated), LeakVerdict::UnboundedLeak);
+        let site = analysis.summary(null_gated).sites[analysis
+            .summary(null_gated)
+            .sites
+            .iter()
+            .position(|s| s.fate == Retention::Unbounded)
+            .unwrap()]
+        .clone();
+        assert!(site.preds.contains(PredSet::NULL_CHECKED));
+        // ...and the bounded registration stays BoundedRetention.
+        let bounded = model
+            .find_method(ERROR_PATH_CLASS, "boundedRegister")
+            .unwrap();
+        assert_eq!(analysis.verdict_for(bounded), LeakVerdict::BoundedRetention);
+        // The transient control releases on every path.
+        let transient = model
+            .find_method(ERROR_PATH_CLASS, "transientPing")
+            .unwrap();
+        assert_eq!(
+            analysis.verdict_for(transient),
+            LeakVerdict::TransientParams
+        );
+    }
+
+    #[test]
+    fn error_path_fixture_does_not_disturb_the_base_verdicts() {
+        let model = CodeModel::synthesize_with_error_paths(&AospSpec::android_6_0_1());
+        let ipc = IpcMethodExtractor::new(&model).extract();
+        let entries = JgrEntryExtractor::new(&model).extract();
+        let out = DataflowDetector::new(&model, &entries).detect(&ipc);
+        let system_risky = out
+            .detector
+            .risky
+            .iter()
+            .filter(|r| r.ipc.kind == ServiceKind::SystemService)
+            .count();
+        assert_eq!(system_risky, 57, "base system-service counts unchanged");
+        let error_class = out
+            .verdicts
+            .iter()
+            .filter(|v| v.verdict == LeakVerdict::ErrorPathLeak)
+            .count();
+        assert!(error_class >= 3, "the fixture's JGRE004 cases surface");
     }
 }

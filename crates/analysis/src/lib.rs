@@ -41,7 +41,7 @@
 // the reference implementation of the paper's method, so escalate.
 #![deny(missing_docs)]
 
-mod cache;
+pub mod cache;
 mod codegen;
 pub mod dataflow;
 mod detect;
@@ -55,7 +55,7 @@ mod report;
 mod verify;
 pub mod witness;
 
-pub use cache::{CACHE_FILE, SCHEMA_VERSION};
+pub use cache::{RejectReason, CACHE_FILE, SCHEMA_VERSION};
 pub use codegen::{generate_test_case, GeneratedTestCase};
 pub use dataflow::{
     condense_call_graph, run_wave, solve_forward, Condensation, ForwardAnalysis, Solution,
@@ -69,10 +69,10 @@ pub use ir::{
     Cfg, Fingerprint, StableHasher, Stmt, Terminator,
 };
 pub use leakcheck::{
-    AnalysisOptions, CrossCheck, DataflowDetector, DataflowOutput, LeakChecker, LeakVerdict,
-    MethodSummary, Retention, SiteSummary, SolverStats, VerdictRow,
+    intra_solver_cost, AnalysisOptions, CrossCheck, DataflowDetector, DataflowOutput, LeakChecker,
+    LeakVerdict, MethodSummary, PredSet, Retention, SiteSummary, SolverStats, VerdictRow,
 };
 pub use pipeline::Pipeline;
 pub use report::{AnalysisReport, ConfirmedVulnerability, VerificationStatus};
 pub use verify::{JgreVerifier, VerifierConfig};
-pub use witness::{Witness, WitnessStep};
+pub use witness::{MinimisedFlows, Witness, WitnessStep};

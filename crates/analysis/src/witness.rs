@@ -279,6 +279,78 @@ impl Witness {
     }
 }
 
+/// Witnesses of one finding with their longest common step prefix
+/// factored out — the minimised form SARIF `codeFlows` are emitted
+/// from. Multi-site findings share the IPC entry and often most of the
+/// Java call chain; repeating those steps per flow bloats reports
+/// without adding information. [`MinimisedFlows::expand`] restores the
+/// originals exactly, so minimisation is lossless by construction.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinimisedFlows {
+    /// Steps shared by every witness, in order (empty when there is no
+    /// common prefix or fewer than two witnesses).
+    pub prefix: Vec<WitnessStep>,
+    /// Each witness's remaining steps after the shared prefix.
+    pub suffixes: Vec<Vec<WitnessStep>>,
+}
+
+impl MinimisedFlows {
+    /// Factors the longest common prefix out of `witnesses`.
+    ///
+    /// A single witness minimises to an empty prefix — there is nothing
+    /// to share — and zero witnesses to an empty value.
+    pub fn minimise(witnesses: &[Witness]) -> MinimisedFlows {
+        if witnesses.len() < 2 {
+            return MinimisedFlows {
+                prefix: Vec::new(),
+                suffixes: witnesses.iter().map(|w| w.steps.clone()).collect(),
+            };
+        }
+        let first = &witnesses[0].steps;
+        let mut common = first.len();
+        for w in &witnesses[1..] {
+            common = common.min(w.steps.len()).min(
+                first
+                    .iter()
+                    .zip(&w.steps)
+                    .take_while(|(a, b)| a == b)
+                    .count(),
+            );
+        }
+        // Never swallow a whole witness into the prefix: every flow must
+        // keep at least its sink step so each suffix stands on its own.
+        let shortest = witnesses.iter().map(|w| w.steps.len()).min().unwrap_or(0);
+        if common == shortest && shortest > 0 {
+            common = shortest - 1;
+        }
+        MinimisedFlows {
+            prefix: first[..common].to_vec(),
+            suffixes: witnesses
+                .iter()
+                .map(|w| w.steps[common..].to_vec())
+                .collect(),
+        }
+    }
+
+    /// Reconstructs the original witnesses (prefix + each suffix).
+    pub fn expand(&self) -> Vec<Witness> {
+        self.suffixes
+            .iter()
+            .map(|suffix| {
+                let mut steps = self.prefix.clone();
+                steps.extend(suffix.iter().cloned());
+                Witness { steps }
+            })
+            .collect()
+    }
+
+    /// Total steps stored, prefix counted once — what the SARIF payload
+    /// actually carries.
+    pub fn stored_steps(&self) -> usize {
+        self.prefix.len() + self.suffixes.iter().map(Vec::len).sum::<usize>()
+    }
+}
+
 /// Shortest Java call path `root -> target` as witness steps (BFS over
 /// direct calls and Handler posts; deterministic: edges in declaration
 /// order).
@@ -408,6 +480,61 @@ mod tests {
             *class = "com.example.Forged".into();
         }
         assert!(witness.validate(&model).is_err());
+    }
+
+    #[test]
+    fn minimisation_roundtrips_and_shares_the_prefix() {
+        use crate::{DataflowDetector, IpcMethodExtractor, JgrEntryExtractor};
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let ipc = IpcMethodExtractor::new(&model).extract();
+        let entries = JgrEntryExtractor::new(&model).extract();
+        let out = DataflowDetector::new(&model, &entries).detect(&ipc);
+        let mut multi_checked = 0usize;
+        for row in &out.verdicts {
+            if !row.verdict.is_risky() {
+                continue;
+            }
+            let root = row.ipc.java.expect("risky rows have Java bodies");
+            let witnesses: Vec<Witness> = row
+                .sites
+                .iter()
+                .filter_map(|s| Witness::build(&model, root, s))
+                .collect();
+            let min = MinimisedFlows::minimise(&witnesses);
+            // Lossless: expansion restores the originals exactly.
+            assert_eq!(min.expand(), witnesses);
+            let full: usize = witnesses.iter().map(|w| w.steps.len()).sum();
+            assert!(min.stored_steps() <= full);
+            if witnesses.len() >= 2 {
+                // Every multi-witness finding shares at least the IPC
+                // entry step.
+                assert!(
+                    !min.prefix.is_empty(),
+                    "{}.{}: no shared prefix",
+                    row.ipc.service,
+                    row.ipc.method
+                );
+                assert!(min.stored_steps() < full, "no sharing achieved");
+                multi_checked += 1;
+            }
+        }
+        assert!(multi_checked > 0, "no multi-witness finding exercised");
+    }
+
+    #[test]
+    fn minimisation_keeps_identical_witnesses_apart() {
+        let model = CodeModel::synthesize(&AospSpec::android_6_0_1());
+        let root = model
+            .find_method("com.android.server.DisplayService", "registerCallback")
+            .unwrap();
+        let analysis = LeakChecker::new(&model).analyze();
+        let site = &analysis.summary(root).sites[0];
+        let w = Witness::build(&model, root, site).unwrap();
+        // Two identical witnesses: the prefix must stop short of the
+        // whole path so each suffix still carries its sink.
+        let min = MinimisedFlows::minimise(&[w.clone(), w.clone()]);
+        assert_eq!(min.expand(), vec![w.clone(), w]);
+        assert!(min.suffixes.iter().all(|s| !s.is_empty()));
     }
 
     #[test]

@@ -113,6 +113,36 @@ fn stale_schema_version_is_rejected() {
 }
 
 #[test]
+fn stale_schema_rejection_is_typed() {
+    use jgre_analysis::cache;
+    use jgre_analysis::{RejectReason, SCHEMA_VERSION};
+    let f = Fixture::new("typed");
+    // A boolean-guard-era file: same framing, previous version number.
+    let mut bytes = f.pristine.clone();
+    bytes[VERSION_OFFSET..VERSION_OFFSET + 4].copy_from_slice(&(SCHEMA_VERSION - 1).to_le_bytes());
+    let path = f.dir.join("stale.bin");
+    fs::write(&path, &bytes).unwrap();
+    let loaded = cache::load(&path, 0, f.model.methods.len());
+    assert_eq!(
+        loaded.reject,
+        Some(RejectReason::StaleSchema {
+            found: SCHEMA_VERSION - 1
+        }),
+        "schema staleness must be distinguishable from corruption"
+    );
+    assert!(loaded.tier_a.is_none());
+    assert!(loaded.tier_b.is_empty(), "stale files are rejected whole");
+    // Corruption reports a different typed reason.
+    let mut garbage = f.pristine.clone();
+    garbage[..8].copy_from_slice(b"NOTJGRE!");
+    fs::write(&path, &garbage).unwrap();
+    assert_eq!(
+        cache::load(&path, 0, f.model.methods.len()).reject,
+        Some(RejectReason::BadMagic)
+    );
+}
+
+#[test]
 fn garbage_magic_is_rejected() {
     let f = Fixture::new("magic");
     let mut bytes = f.pristine.clone();

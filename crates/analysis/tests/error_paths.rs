@@ -1,0 +1,126 @@
+//! End-to-end coverage of the error-path leak class (`JGRE004`): the
+//! corpus extension fixture's conditional-release shapes must surface as
+//! `ErrorPathRelease` findings with checkable witnesses, degrade to the
+//! plain unbounded class when path sensitivity is off, and leave every
+//! baseline verdict untouched.
+
+use jgre_analysis::diagnostics::{LintReport, RuleId, Severity};
+use jgre_analysis::{AnalysisOptions, LeakVerdict, PredSet};
+use jgre_corpus::{error_path_cases, spec::AospSpec, CodeModel, ERROR_PATH_CLASS};
+
+fn extended_report(options: &AnalysisOptions) -> (CodeModel, LintReport) {
+    let spec = AospSpec::android_6_0_1();
+    let model = CodeModel::synthesize_with_error_paths(&spec);
+    let report = LintReport::generate_with(&model, &spec, options);
+    (model, report)
+}
+
+#[test]
+fn jgre004_fires_on_the_fixture_with_checkable_witnesses() {
+    let (model, report) = extended_report(&AnalysisOptions::default());
+    let jgre004: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == RuleId::ErrorPathRelease)
+        .collect();
+    assert!(
+        jgre004.len() >= 3,
+        "expected at least the three fixture cases, got {}",
+        jgre004.len()
+    );
+    let expected: Vec<&str> = error_path_cases().iter().map(|(_, m)| *m).collect();
+    for name in &expected {
+        assert!(
+            jgre004
+                .iter()
+                .any(|d| d.service == ERROR_PATH_CLASS && d.method == *name),
+            "{name} missing from the JGRE004 findings"
+        );
+    }
+    for d in &jgre004 {
+        assert_eq!(d.rule.as_str(), "JGRE004");
+        assert_eq!(d.rule.severity(), Severity::Error);
+        assert_eq!(d.verdict, LeakVerdict::ErrorPathLeak);
+        assert!(
+            d.message.contains("on its error path only"),
+            "{}",
+            d.message
+        );
+        assert!(!d.witnesses.is_empty(), "{}.{}", d.service, d.method);
+        for w in &d.witnesses {
+            w.validate(&model)
+                .unwrap_or_else(|e| panic!("{}.{}: broken witness: {e}", d.service, d.method));
+        }
+    }
+}
+
+#[test]
+fn path_insensitive_mode_reclassifies_jgre004_as_jgre001() {
+    let (_, report) = extended_report(&AnalysisOptions::default().path_insensitive());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .all(|d| d.rule != RuleId::ErrorPathRelease),
+        "JGRE004 must not fire without predicate reading"
+    );
+    for (class, name) in error_path_cases() {
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.service == class && d.method == name)
+            .unwrap_or_else(|| panic!("{name} dropped in insensitive mode"));
+        assert_eq!(
+            d.rule,
+            RuleId::UnboundedRetention,
+            "{name}: error-path leaks are a refinement of the unbounded class"
+        );
+    }
+}
+
+#[test]
+fn fixture_controls_behave() {
+    let (model, report) = extended_report(&AnalysisOptions::default());
+    // The bound-checked control is a proven BoundedRetention warning.
+    let bounded = report
+        .diagnostics
+        .iter()
+        .find(|d| d.service == ERROR_PATH_CLASS && d.method == "boundedRegister")
+        .expect("bounded control surfaces");
+    assert_eq!(bounded.rule, RuleId::BoundedRetention);
+    assert!(bounded.proven, "BOUND_CHECKED on every retaining site");
+    // The null-check-gated store is a genuine JGRE001: the check guards
+    // the store but not the retention.
+    let null_gated = report
+        .diagnostics
+        .iter()
+        .find(|d| d.service == ERROR_PATH_CLASS && d.method == "addNonNullObserver")
+        .expect("null-gated store surfaces");
+    assert_eq!(null_gated.rule, RuleId::UnboundedRetention);
+    // The transient control releases on every path and must not appear.
+    assert!(
+        !report
+            .diagnostics
+            .iter()
+            .any(|d| d.service == ERROR_PATH_CLASS && d.method == "transientPing"),
+        "transient control must be sifted"
+    );
+    // The null-checked site's predicate is recorded in the summary.
+    let root = model
+        .find_method(ERROR_PATH_CLASS, "addNonNullObserver")
+        .unwrap();
+    let analysis = jgre_analysis::LeakChecker::new(&model).analyze();
+    assert!(analysis
+        .summary(root)
+        .sites
+        .iter()
+        .any(|s| s.preds.contains(PredSet::NULL_CHECKED)));
+}
+
+#[test]
+fn extended_corpus_keeps_the_baseline_score() {
+    let (_, report) = extended_report(&AnalysisOptions::default());
+    assert_eq!(report.accuracy.true_positives, 54);
+    assert_eq!(report.accuracy.false_positives, 0);
+    assert_eq!(report.accuracy.false_negatives, 0);
+}

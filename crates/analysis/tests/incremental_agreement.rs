@@ -17,13 +17,14 @@ use proptest::prelude::*;
 /// One corpus edit: `(kind, a, b)` with the operand indices taken modulo
 /// whatever they select. Kinds: 0 add call edge, 1 remove last call
 /// edge, 2 retarget first call edge, 3 toggle the first binder param
-/// between released and retained, 4 rename the method.
+/// between released and retained, 4 rename the method, 5 cycle the first
+/// binder param through the path-sensitive error-path usages.
 type EditOp = (u8, usize, usize);
 
 fn apply(model: &mut CodeModel, op: &EditOp, step: usize) {
     let n = model.methods.len();
     let (kind, a, b) = *op;
-    match kind % 5 {
+    match kind % 6 {
         0 => {
             let callee = MethodId((b % n) as u32);
             let def = &mut model.methods[a % n];
@@ -58,6 +59,21 @@ fn apply(model: &mut CodeModel, op: &EditOp, step: usize) {
             // The step index keeps mutated names unique, so the cache's
             // (class, name) remapping never sees an ambiguous pair.
             def.name = format!("mut{step}_{}", def.name);
+        }
+        5 => {
+            // Exercise the predicate lattice in the cache: branch-labeled
+            // bodies whose summaries carry non-empty PredSets.
+            let shapes = [
+                ParamUsage::ReleaseSkippedOnError,
+                ParamUsage::PermissionGatedRelease,
+                ParamUsage::NullCheckGatedStore,
+            ];
+            let usage = shapes[b % shapes.len()];
+            let def = &mut model.methods[a % n];
+            match def.binder_params.first_mut() {
+                Some(slot) => *slot = usage,
+                None => def.binder_params.push(usage),
+            }
         }
         _ => unreachable!(),
     }
@@ -130,7 +146,7 @@ proptest! {
     /// Incremental ≡ from-scratch under arbitrary mutation sequences.
     #[test]
     fn cached_replay_agrees_with_cold_at_every_step(
-        ops in proptest::collection::vec((0u8..5, 0usize..4096, 0usize..4096), 1..8)
+        ops in proptest::collection::vec((0u8..6, 0usize..4096, 0usize..4096), 1..8)
     ) {
         if let Some(step) = first_divergence(&ops) {
             let minimal = minimize(&ops, step);
@@ -143,7 +159,7 @@ proptest! {
     }
 }
 
-/// A hand-picked sequence covering all five edit kinds, replayed with
+/// A hand-picked sequence covering all six edit kinds, replayed with
 /// warm-hit verification: after an edit, re-running unchanged must be a
 /// pure Tier A hit again.
 #[test]
@@ -151,7 +167,9 @@ fn scripted_edits_agree_and_rewarm() {
     let ops: Vec<EditOp> = vec![
         (0, 17, 4242), // add edge
         (3, 901, 0),   // toggle release
+        (5, 901, 0),   // error-path shape (predicate lattice in cache)
         (4, 55, 0),    // rename
+        (5, 120, 1),   // permission-gated shape
         (2, 17, 11),   // retarget
         (1, 17, 0),    // remove edge
     ];

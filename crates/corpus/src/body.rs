@@ -30,6 +30,17 @@
 //!   and dropped on the over-limit path. The downstream registration
 //!   calls run on the under-limit path only — the limit bounds the whole
 //!   registration, not just the local store.
+//! * Branches carry a [`BranchKind`] label describing *what* the guarding
+//!   condition tests (bound, permission, null, error). The analysis lowers
+//!   these labels onto CFG edges as per-branch predicates, which is what
+//!   lets a check clear or cap individual sites instead of muting the
+//!   whole method.
+//! * Three error-path shapes model conditional releases: an argument
+//!   validation that early-returns *before* the release runs
+//!   ([`ParamUsage::ReleaseSkippedOnError`]), a release that only happens
+//!   once a permission check passes ([`ParamUsage::PermissionGatedRelease`]),
+//!   and an unbounded store gated behind a null check
+//!   ([`ParamUsage::NullCheckGatedStore`]).
 
 use serde::{Deserialize, Serialize};
 
@@ -65,6 +76,25 @@ pub enum FieldKind {
     MapKeyReadOnly,
     /// A scalar member field — the store replaces the previous value.
     Scalar,
+}
+
+/// What the condition of a [`BodyStmt::If`] tests.
+///
+/// The label rides through CFG lowering onto the branch edges, where the
+/// leak analysis turns it into per-branch predicates: the *then* edge of a
+/// bound check proves the store is capped, the *else* edge of a permission
+/// or error check is an error path that may skip a release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum BranchKind {
+    /// A visible per-process bound check; the *then* branch is under-limit.
+    BoundCheck,
+    /// A permission check; the *else* branch is the caller-denied error path.
+    PermissionCheck,
+    /// A null check; the *then* branch has a non-null argument.
+    NullCheck,
+    /// An argument-validation / error check; the *else* branch is the
+    /// early-return error path.
+    ErrorCheck,
 }
 
 /// Operand of a release: a register or the current value of a field.
@@ -112,11 +142,13 @@ pub enum BodyStmt {
         /// Whether the edge is a `Message`/`Handler` post.
         via_handler: bool,
     },
-    /// A two-way branch (the per-process bound check pattern).
+    /// A two-way branch (bound / permission / null / error checks).
     If {
-        /// Statements on the under-limit path.
+        /// What the condition tests — lowered onto the CFG branch edges.
+        kind: BranchKind,
+        /// Statements on the check-passed path.
         then_branch: Vec<BodyStmt>,
-        /// Statements on the over-limit path.
+        /// Statements on the check-failed path.
         else_branch: Vec<BodyStmt>,
     },
     /// Method exit.
@@ -187,6 +219,7 @@ pub fn synthesize_body(def: &MethodDef) -> MethodBody {
             ParamUsage::StoredInCollectionBounded => {
                 bounded_branch.get_or_insert(stmts.len());
                 stmts.push(BodyStmt::If {
+                    kind: BranchKind::BoundCheck,
                     then_branch: vec![BodyStmt::StoreField {
                         src: v,
                         field: "mCallbacks".to_owned(),
@@ -217,6 +250,45 @@ pub fn synthesize_body(def: &MethodDef) -> MethodBody {
                     src: v,
                     field: "mListener".to_owned(),
                     kind: FieldKind::Scalar,
+                });
+            }
+            ParamUsage::ReleaseSkippedOnError => {
+                // Argument validation early-returns before the transient
+                // release at the end of the body runs: the happy path is a
+                // clean transient, the error path leaks the reference.
+                stmts.push(BodyStmt::If {
+                    kind: BranchKind::ErrorCheck,
+                    then_branch: vec![],
+                    else_branch: vec![BodyStmt::Return],
+                });
+                stmts.push(BodyStmt::StoreLocal { src: v });
+                transient.push(v);
+            }
+            ParamUsage::PermissionGatedRelease => {
+                // The release only runs once the permission check passes;
+                // a caller *without* the permission — the attacker — takes
+                // the else edge and the reference is never released.
+                stmts.push(BodyStmt::If {
+                    kind: BranchKind::PermissionCheck,
+                    then_branch: vec![
+                        BodyStmt::StoreLocal { src: v },
+                        BodyStmt::ReleaseJgr { src: Place::Var(v) },
+                    ],
+                    else_branch: vec![BodyStmt::Return],
+                });
+            }
+            ParamUsage::NullCheckGatedStore => {
+                // The unbounded store is gated behind a null check. The
+                // check clears nothing: an attacker passes a non-null
+                // binder, so the retaining path is trivially reachable.
+                stmts.push(BodyStmt::If {
+                    kind: BranchKind::NullCheck,
+                    then_branch: vec![BodyStmt::StoreField {
+                        src: v,
+                        field: "mObservers".to_owned(),
+                        kind: FieldKind::Collection { bounded: false },
+                    }],
+                    else_branch: vec![BodyStmt::ReleaseJgr { src: Place::Var(v) }],
                 });
             }
         }
@@ -380,20 +452,97 @@ mod tests {
             .iter()
             .find_map(|s| match s {
                 BodyStmt::If {
+                    kind,
                     then_branch,
                     else_branch,
-                } => Some((then_branch, else_branch)),
+                } => Some((kind, then_branch, else_branch)),
                 _ => None,
             })
             .expect("bounded store lowers to a branch");
+        assert_eq!(*branch.0, BranchKind::BoundCheck);
         assert!(matches!(
-            branch.0[0],
+            branch.1[0],
             BodyStmt::StoreField {
                 kind: FieldKind::Collection { bounded: true },
                 ..
             }
         ));
-        assert!(matches!(branch.1[0], BodyStmt::ReleaseJgr { .. }));
+        assert!(matches!(branch.2[0], BodyStmt::ReleaseJgr { .. }));
+    }
+
+    fn shape_of(usage: ParamUsage) -> MethodBody {
+        let def = MethodDef {
+            id: MethodId(0),
+            class: "com.example.Shape".to_owned(),
+            name: "m".to_owned(),
+            overrides_aidl: None,
+            calls: Vec::new(),
+            handler_posts: Vec::new(),
+            registers_service: None,
+            binder_params: vec![usage],
+            permission_checks: Vec::new(),
+        };
+        synthesize_body(&def)
+    }
+
+    #[test]
+    fn release_skipped_on_error_early_returns_before_the_release() {
+        let body = shape_of(ParamUsage::ReleaseSkippedOnError);
+        let BodyStmt::If {
+            kind,
+            then_branch,
+            else_branch,
+        } = &body.stmts[1]
+        else {
+            panic!("error check lowers to a branch, got {:?}", body.stmts[1]);
+        };
+        assert_eq!(*kind, BranchKind::ErrorCheck);
+        assert!(then_branch.is_empty(), "happy path falls through");
+        assert_eq!(else_branch.as_slice(), &[BodyStmt::Return]);
+        // The transient release exists but sits *after* the early return.
+        assert!(body.stmts[2..]
+            .iter()
+            .any(|s| matches!(s, BodyStmt::ReleaseJgr { .. })));
+    }
+
+    #[test]
+    fn permission_gated_release_leaks_on_the_denied_path() {
+        let body = shape_of(ParamUsage::PermissionGatedRelease);
+        let BodyStmt::If {
+            kind,
+            then_branch,
+            else_branch,
+        } = &body.stmts[1]
+        else {
+            panic!("permission check lowers to a branch");
+        };
+        assert_eq!(*kind, BranchKind::PermissionCheck);
+        assert!(then_branch
+            .iter()
+            .any(|s| matches!(s, BodyStmt::ReleaseJgr { .. })));
+        assert_eq!(else_branch.as_slice(), &[BodyStmt::Return]);
+    }
+
+    #[test]
+    fn null_check_gated_store_retains_on_the_non_null_path() {
+        let body = shape_of(ParamUsage::NullCheckGatedStore);
+        let BodyStmt::If {
+            kind,
+            then_branch,
+            else_branch,
+        } = &body.stmts[1]
+        else {
+            panic!("null check lowers to a branch");
+        };
+        assert_eq!(*kind, BranchKind::NullCheck);
+        assert!(matches!(
+            then_branch[0],
+            BodyStmt::StoreField {
+                kind: FieldKind::Collection { bounded: false },
+                ..
+            }
+        ));
+        assert!(matches!(else_branch[0], BodyStmt::ReleaseJgr { .. }));
     }
 
     #[test]

@@ -35,10 +35,12 @@ pub mod body;
 pub mod model;
 pub mod spec;
 
-pub use body::{synthesize_body, AllocSite, BodyStmt, FieldKind, MethodBody, Place, Var};
+pub use body::{
+    synthesize_body, AllocSite, BodyStmt, BranchKind, FieldKind, MethodBody, Place, Var,
+};
 pub use model::{
-    service_class_name, ClassDef, CodeModel, JniRegistration, MethodDef, MethodId, NativeFunction,
-    NativeFunctionId, Origin, ParamUsage,
+    error_path_cases, service_class_name, ClassDef, CodeModel, JniRegistration, MethodDef,
+    MethodId, NativeFunction, NativeFunctionId, Origin, ParamUsage, ERROR_PATH_CLASS,
 };
 pub use spec::{
     AospSpec, AppSpec, CostParams, Flaw, JgrBehavior, MethodSpec, Permission, Protection,

@@ -59,6 +59,17 @@ pub enum ParamUsage {
     /// Assigned to a single member field, replacing the previous value
     /// (sift rule 4).
     AssignedToMemberField,
+    /// Used transiently, but an argument-validation check early-returns
+    /// *before* the release runs — the error path leaks the reference
+    /// (the "release skipped on error path" class, JGRE004).
+    ReleaseSkippedOnError,
+    /// The release only runs once a permission check passes; a caller
+    /// without the permission takes the denied path and leaks (JGRE004).
+    PermissionGatedRelease,
+    /// Stored into an unbounded member collection behind a null check.
+    /// The check clears nothing — a non-null binder reaches the store —
+    /// but per-branch tracking records the predicate on the site.
+    NullCheckGatedStore,
 }
 
 /// Where a class comes from, for per-app attribution.
@@ -238,6 +249,88 @@ impl CodeModel {
     pub fn synthesize(spec: &AospSpec) -> CodeModel {
         Builder::default().build(spec)
     }
+
+    /// Builds the code model plus the error-path fixture: one extra app
+    /// service class whose methods exercise the conditional-release shapes
+    /// ([`ParamUsage::ReleaseSkippedOnError`],
+    /// [`ParamUsage::PermissionGatedRelease`],
+    /// [`ParamUsage::NullCheckGatedStore`]) alongside bounded and
+    /// transient controls. The base corpus — and every headline count
+    /// derived from it — is unchanged; the fixture only adds methods.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jgre_corpus::{spec::AospSpec, CodeModel};
+    ///
+    /// let base = CodeModel::synthesize(&AospSpec::android_6_0_1());
+    /// let ext = CodeModel::synthesize_with_error_paths(&AospSpec::android_6_0_1());
+    /// assert_eq!(ext.methods.len(), base.methods.len() + 6);
+    /// ```
+    pub fn synthesize_with_error_paths(spec: &AospSpec) -> CodeModel {
+        let mut model = Self::synthesize(spec);
+        append_error_path_fixture(&mut model);
+        model
+    }
+}
+
+/// Class hosting the error-path fixture of
+/// [`CodeModel::synthesize_with_error_paths`].
+pub const ERROR_PATH_CLASS: &str = "com.example.errorpaths.LeakyService";
+
+/// Ground truth for the error-path fixture: the `(class, method)` pairs
+/// that must be reported as "release skipped on error path" (JGRE004).
+/// The fixture's other methods are controls — a null-gated unbounded
+/// store (a plain unbounded leak), a bounded registration (provably
+/// capped), and a transient ping (sifted).
+pub fn error_path_cases() -> [(&'static str, &'static str); 3] {
+    [
+        (ERROR_PATH_CLASS, "registerOnError"),
+        (ERROR_PATH_CLASS, "gatedRelease"),
+        (ERROR_PATH_CLASS, "watchSessions"),
+    ]
+}
+
+fn append_error_path_fixture(model: &mut CodeModel) {
+    let origin = Origin::ThirdPartyApp("com.example.errorpaths".to_owned());
+    let iface = "IErrorPathDemo";
+    let mut methods = Vec::new();
+    let shapes: [(&str, Vec<ParamUsage>); 6] = [
+        ("registerOnError", vec![ParamUsage::ReleaseSkippedOnError]),
+        ("gatedRelease", vec![ParamUsage::PermissionGatedRelease]),
+        (
+            "watchSessions",
+            vec![ParamUsage::ReleaseSkippedOnError, ParamUsage::LocalOnly],
+        ),
+        ("addNonNullObserver", vec![ParamUsage::NullCheckGatedStore]),
+        (
+            "boundedRegister",
+            vec![ParamUsage::StoredInCollectionBounded],
+        ),
+        ("transientPing", vec![ParamUsage::LocalOnly]),
+    ];
+    for (name, binder_params) in shapes {
+        let id = MethodId(model.methods.len() as u32);
+        model.methods.push(MethodDef {
+            id,
+            class: ERROR_PATH_CLASS.to_owned(),
+            name: name.to_owned(),
+            overrides_aidl: Some(iface.to_owned()),
+            calls: Vec::new(),
+            handler_posts: Vec::new(),
+            registers_service: None,
+            binder_params,
+            permission_checks: Vec::new(),
+        });
+        methods.push(id);
+    }
+    model.classes.push(ClassDef {
+        name: ERROR_PATH_CLASS.to_owned(),
+        superclass: None,
+        asbinder_interface: Some(iface.to_owned()),
+        methods,
+        origin,
+    });
 }
 
 // --------------------------------------------------------------------------
@@ -779,5 +872,21 @@ mod tests {
     #[test]
     fn model_is_deterministic() {
         assert_eq!(model(), model());
+    }
+
+    #[test]
+    fn error_path_fixture_extends_without_disturbing_the_base() {
+        let base = model();
+        let ext = CodeModel::synthesize_with_error_paths(&AospSpec::android_6_0_1());
+        assert_eq!(ext.methods.len(), base.methods.len() + 6);
+        assert_eq!(ext.methods[..base.methods.len()], base.methods[..]);
+        let class = ext.find_class(ERROR_PATH_CLASS).expect("fixture class");
+        assert_eq!(class.asbinder_interface.as_deref(), Some("IErrorPathDemo"));
+        for (class_name, method) in error_path_cases() {
+            assert!(
+                ext.find_method(class_name, method).is_some(),
+                "missing {class_name}.{method}"
+            );
+        }
     }
 }

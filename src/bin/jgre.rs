@@ -53,6 +53,10 @@ OPTIONS:
                the affected call-graph cone
   --threads N  (lint) worker threads for the per-wave SCC fan-out
                (default 1; results are identical for every N)
+  --path-insensitive
+               (lint) disable the per-branch predicate reading: no
+               JGRE004 error-path findings, no proven-bounded drops —
+               reproduces the boolean-guard-era score
   --fault K    (chaos) restrict the matrix to one fault kind: ipc-drop,
                ipc-duplicate, ipc-delay, ipc-reorder, jgr-truncate,
                jgr-corrupt, clock-jitter, kill-fail, kill-respawn,
@@ -173,6 +177,13 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
                 "summaries: {} (hits {}, misses {})",
                 report.stats.methods, report.stats.cache_hits, report.stats.cache_misses
             );
+            // Machine-greppable score line for the CI accuracy gate.
+            eprintln!(
+                "accuracy: tp={} fp={} fn={}",
+                report.accuracy.true_positives,
+                report.accuracy.false_positives,
+                report.accuracy.false_negatives
+            );
         }
         "chaos" => {
             if options.list_cells {
@@ -243,6 +254,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--path-insensitive" => analysis.path_sensitive = false,
             "--threads" => match iter.next().map(|s| s.parse::<usize>()) {
                 Some(Ok(threads)) if threads > 0 => analysis.threads = Some(threads),
                 _ => {

@@ -55,7 +55,7 @@ fn lint_emits_sarif_with_witnessed_findings() {
         .iter()
         .filter_map(|r| r["id"].as_str())
         .collect();
-    assert_eq!(rule_ids, ["JGRE001", "JGRE002", "JGRE003"]);
+    assert_eq!(rule_ids, ["JGRE001", "JGRE002", "JGRE003", "JGRE004"]);
 
     // 63 risky interfaces (60 unbounded + 3 bounded) plus the
     // signature-gated notes.
@@ -145,10 +145,27 @@ fn lint_json_prints_the_raw_report() {
         .expect("binary runs");
     assert!(out.status.success());
     let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    // The predicate lattice proves the three bounded collections bounded,
+    // so they no longer count as false positives.
+    assert_eq!(report["accuracy"]["true_positives"], 54);
+    assert_eq!(report["accuracy"]["false_positives"], 0);
+    assert_eq!(report["accuracy"]["false_negatives"], 0);
+    assert!(report["diagnostics"].as_array().is_some());
+}
+
+#[test]
+fn lint_path_insensitive_reproduces_the_boolean_era_score() {
+    let out = jgre()
+        .args(["lint", "--path-insensitive", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
     assert_eq!(report["accuracy"]["true_positives"], 54);
     assert_eq!(report["accuracy"]["false_positives"], 3);
     assert_eq!(report["accuracy"]["false_negatives"], 0);
-    assert!(report["diagnostics"].as_array().is_some());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("accuracy: tp=54 fp=3 fn=0"), "{stderr}");
 }
 
 #[test]
@@ -162,6 +179,8 @@ fn lint_prints_the_summary_footer_on_stderr() {
         stderr.contains("summaries: 3732 (hits 0, misses 3732)"),
         "{stderr}"
     );
+    // The CI accuracy gate greps this exact line.
+    assert!(stderr.contains("accuracy: tp=54 fp=0 fn=0"), "{stderr}");
 }
 
 #[test]
