@@ -4,8 +4,11 @@
 //! via `SeedableRng::seed_from_u64`, `RngCore::next_u64`, and
 //! `Rng::{gen_range, gen_bool}` over integer ranges. The generator is a
 //! SplitMix64 stream — statistically fine for simulation workloads and,
-//! more importantly here, fully deterministic per seed. No test in the
-//! workspace pins exact stream values, only reproducibility.
+//! more importantly here, fully deterministic per seed. The generator is
+//! load-bearing for fleet determinism: `crates/sim/tests/
+//! stream_independence.rs` pins the exact first draws of campaign stream
+//! 0, so changing this algorithm (or `seed_from_u64`'s warm-up discard)
+//! is a breaking change to every recorded `FleetSummary`.
 
 /// Core random number generation trait.
 pub trait RngCore {

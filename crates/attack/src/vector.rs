@@ -64,6 +64,39 @@ impl AttackVector {
         }
     }
 
+    /// Canonical `service.method` label of this vector, as it appears in
+    /// experiment tables and fleet summaries.
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.service, self.method)
+    }
+
+    /// Resolves a catalog selector against [`all_vectors`](Self::all_vectors):
+    /// either a zero-based index (`"12"`) or a `service.method` label
+    /// (`"audio.startWatchingRoutes"`). Returns the catalog index and the
+    /// vector, or `None` when nothing matches.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use jgre_attack::AttackVector;
+    /// use jgre_corpus::spec::AospSpec;
+    ///
+    /// let spec = AospSpec::android_6_0_1();
+    /// let (idx, v) = AttackVector::resolve(&spec, "clipboard.addPrimaryClipChangedListener").unwrap();
+    /// assert_eq!(AttackVector::resolve(&spec, &idx.to_string()).unwrap().1, v);
+    /// assert!(AttackVector::resolve(&spec, "no.such").is_none());
+    /// ```
+    pub fn resolve(spec: &AospSpec, selector: &str) -> Option<(usize, AttackVector)> {
+        let catalog = Self::all_vectors(spec);
+        if let Ok(index) = selector.parse::<usize>() {
+            return catalog.get(index).map(|v| (index, v.clone()));
+        }
+        catalog
+            .into_iter()
+            .enumerate()
+            .find(|(_, v)| v.label() == selector)
+    }
+
     /// Call options implementing this vector's exploit.
     pub fn call_options(&self) -> CallOptions {
         CallOptions {
@@ -206,6 +239,24 @@ mod tests {
         assert_eq!(AttackVector::service_vectors(&spec).len(), 54);
         assert_eq!(AttackVector::prebuilt_vectors(&spec).len(), 3);
         assert_eq!(AttackVector::all_vectors(&spec).len(), 57);
+    }
+
+    #[test]
+    fn resolve_accepts_index_and_label() {
+        let spec = AospSpec::android_6_0_1();
+        let catalog = AttackVector::all_vectors(&spec);
+        for (i, v) in catalog.iter().enumerate() {
+            assert_eq!(
+                AttackVector::resolve(&spec, &i.to_string()),
+                Some((i, v.clone()))
+            );
+            assert_eq!(
+                AttackVector::resolve(&spec, &v.label()),
+                Some((i, v.clone()))
+            );
+        }
+        assert!(AttackVector::resolve(&spec, "57").is_none());
+        assert!(AttackVector::resolve(&spec, "bogus.method").is_none());
     }
 
     #[test]

@@ -6,6 +6,9 @@
 //! [`DefendedDevice`] polls after every dispatched call and accumulates
 //! the detections.
 
+use std::rc::Rc;
+
+use jgre_corpus::spec::AospSpec;
 use jgre_defense::{DetectionOutcome, JgreDefender};
 use jgre_framework::{CallOptions, CallOutcome, FrameworkError, System};
 use jgre_sim::Uid;
@@ -45,7 +48,14 @@ pub struct DefendedDevice {
 impl DefendedDevice {
     /// Boots a device at the given scale with the defense installed.
     pub fn boot(scale: ExperimentScale) -> Self {
-        let mut system = System::boot_with(scale.system_config());
+        Self::boot_with_spec(scale, Rc::new(AospSpec::android_6_0_1()))
+    }
+
+    /// Boots a device from an already-synthesized (possibly shared) spec —
+    /// the fleet engine's boot path, where thousands of devices per worker
+    /// share one immutable Android image.
+    pub fn boot_with_spec(scale: ExperimentScale, spec: Rc<AospSpec>) -> Self {
+        let mut system = System::boot_with_spec(scale.system_config(), spec);
         let defender = JgreDefender::install(&mut system, scale.defender_config())
             .expect("scale presets produce a valid defender config");
         Self {
@@ -53,6 +63,24 @@ impl DefendedDevice {
             defender,
             detections: Vec::new(),
         }
+    }
+
+    /// Re-boots this device in place for the next fleet run, reusing the
+    /// shared spec and the detections allocation.
+    ///
+    /// After a reset the device is observationally identical to a fresh
+    /// [`boot`](Self::boot) at the same scale: new system, new defender,
+    /// empty detections, virtual clock back at the boot epoch. Nothing
+    /// from the previous run — defender monitor state, driver log, JGR
+    /// tables, installed apps — survives; the arena-reuse test in
+    /// `crates/core/tests/device_reset.rs` pins that equivalence.
+    pub fn reset(&mut self, scale: ExperimentScale) {
+        let spec = self.system.spec_shared();
+        let mut system = System::boot_with_spec(scale.system_config(), spec);
+        self.defender = JgreDefender::install(&mut system, scale.defender_config())
+            .expect("scale presets produce a valid defender config");
+        self.system = system;
+        self.detections.clear();
     }
 
     /// The underlying system.

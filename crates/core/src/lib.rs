@@ -25,6 +25,12 @@
 //! | [`experiments::response_delay`] | §V-D.1 (detection delays) |
 //! | [`experiments::defense_effectiveness`] | §V-C (all 57 defended) |
 //!
+//! Beyond the per-device runners, the [`fleet`] module scales the
+//! simulator to campaigns: [`run_campaign`] shards N independent
+//! [`DefendedDevice`]s across worker threads and streams their outcomes
+//! into a thread-count-invariant [`FleetSummary`] (the `jgre fleet`
+//! subcommand).
+//!
 //! Every runner takes an [`ExperimentScale`]: [`ExperimentScale::paper`]
 //! uses the real constants (51200-entry tables, 4000/12000 thresholds)
 //! and reproduces the published magnitudes; [`ExperimentScale::quick`]
@@ -44,9 +50,11 @@
 
 mod device;
 pub mod experiments;
+pub mod fleet;
 mod scale;
 
 pub use device::DefendedDevice;
+pub use fleet::{run_campaign, run_campaign_observed, FleetConfig, FleetSummary};
 pub use scale::ExperimentScale;
 
 // Re-export the layer crates so downstream users need one dependency.

@@ -1,0 +1,106 @@
+//! Arena-slot reuse: a reset device is a fresh device.
+//!
+//! The fleet engine re-boots one [`DefendedDevice`] slot per worker
+//! between runs instead of building a new device each time. That reuse is
+//! only sound if *nothing* leaks across [`DefendedDevice::reset`] — not
+//! the virtual clock, not uid allocation, not defender monitor state, not
+//! the previous attack's JGR tables. These tests run different attacks
+//! back-to-back on one slot and require the second run to be
+//! indistinguishable from one on a freshly-booted device.
+
+use jgre_core::fleet::{campaign_catalog, run_device, DeviceArena, FleetConfig};
+use jgre_core::{DefendedDevice, ExperimentScale};
+use jgre_framework::CallOptions;
+
+#[test]
+fn second_attack_on_a_reused_slot_matches_a_fresh_arena() {
+    let config = FleetConfig {
+        devices: 2,
+        ..FleetConfig::new(ExperimentScale::quick())
+    };
+    let catalog = campaign_catalog(&config);
+
+    // Device 0 (accessibility vector) dirties the slot: detections fired,
+    // apps installed, clock advanced, defender monitor warm.
+    let mut reused = DeviceArena::new();
+    let first = run_device(&mut reused, &config, &catalog, 0);
+    assert!(
+        !first.detections.is_empty(),
+        "first run should trip the defense"
+    );
+
+    // Device 1 (a different vector) on the dirty slot vs a fresh arena.
+    let on_reused = run_device(&mut reused, &config, &catalog, 1);
+    let mut fresh = DeviceArena::new();
+    let on_fresh = run_device(&mut fresh, &config, &catalog, 1);
+    assert_eq!(on_reused, on_fresh, "state leaked across DeviceArena reuse");
+    assert_ne!(
+        first.interface, on_reused.interface,
+        "test needs two distinct attacks"
+    );
+}
+
+#[test]
+fn run_order_on_a_slot_does_not_matter() {
+    let config = FleetConfig {
+        devices: 4,
+        ..FleetConfig::new(ExperimentScale::quick())
+    };
+    let catalog = campaign_catalog(&config);
+    let mut forward = DeviceArena::new();
+    let f0 = run_device(&mut forward, &config, &catalog, 0);
+    let f3 = run_device(&mut forward, &config, &catalog, 3);
+    let mut backward = DeviceArena::new();
+    let b3 = run_device(&mut backward, &config, &catalog, 3);
+    let b0 = run_device(&mut backward, &config, &catalog, 0);
+    assert_eq!(f0, b0);
+    assert_eq!(f3, b3);
+}
+
+#[test]
+fn reset_restores_every_fresh_boot_observable() {
+    let scale = ExperimentScale::quick();
+
+    // Dirty a device thoroughly: extra app, attack driven to detection.
+    let mut used = DefendedDevice::boot(scale);
+    let bystander = used.system_mut().install_app("com.bystander", []);
+    used.call_service(bystander, "clipboard", "getState", CallOptions::default())
+        .expect("benign call");
+    let mal = used.system_mut().install_app("com.evil", []);
+    while used.detections().is_empty() {
+        used.call_service(mal, "audio", "startWatchingRoutes", CallOptions::default())
+            .expect("audio registered");
+    }
+    assert!(used.system().now() > DefendedDevice::boot(scale).system().now());
+
+    used.reset(scale);
+    let mut fresh = DefendedDevice::boot(scale);
+
+    // Clock, reboot counter, and detections back to boot state.
+    assert_eq!(used.system().now(), fresh.system().now());
+    assert_eq!(used.system().soft_reboots(), 0);
+    assert!(used.detections().is_empty());
+
+    // Uid allocation restarts: the first app installed after reset gets
+    // the same uid as the first app on a fresh device.
+    let u = used.system_mut().install_app("com.first", []);
+    let f = fresh.system_mut().install_app("com.first", []);
+    assert_eq!(u, f, "uid allocator leaked across reset");
+
+    // And the same attack plays out identically on both.
+    let drive = |device: &mut DefendedDevice, uid| {
+        let mut calls = 0u64;
+        while device.detections().is_empty() {
+            device
+                .call_service(uid, "audio", "startWatchingRoutes", CallOptions::default())
+                .expect("audio registered");
+            calls += 1;
+            assert!(calls < 50_000, "defense never fired");
+        }
+        (calls, device.detections().to_vec())
+    };
+    let (used_calls, used_detections) = drive(&mut used, u);
+    let (fresh_calls, fresh_detections) = drive(&mut fresh, f);
+    assert_eq!(used_calls, fresh_calls);
+    assert_eq!(used_detections, fresh_detections);
+}

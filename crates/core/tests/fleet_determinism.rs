@@ -1,0 +1,57 @@
+//! Shard-count invariance of fleet campaigns.
+//!
+//! The campaign engine deals devices round-robin to worker threads and
+//! merges per-shard partial summaries by addition. The contract is that
+//! the worker count is *unobservable*: a `FleetSummary` — down to its
+//! serialized bytes, which is what the CI smoke job diffs — depends only
+//! on `(campaign_seed, devices, scale, attack selection)`.
+
+use jgre_core::fleet::FleetConfig;
+use jgre_core::{run_campaign, ExperimentScale};
+use proptest::prelude::*;
+
+fn summary_json(devices: u64, threads: usize, campaign_seed: u64) -> String {
+    let config = FleetConfig {
+        devices,
+        threads,
+        campaign_seed,
+        ..FleetConfig::new(ExperimentScale::quick())
+    };
+    serde_json::to_string_pretty(&run_campaign(&config)).expect("fleet summaries serialize")
+}
+
+/// The ISSUE's pinned thread set {1, 2, 7}: inline execution, an even
+/// split, and a count that divides 57-device sweeps unevenly (shard 0
+/// gets 9 devices, shards 3..7 get 8).
+#[test]
+fn catalog_sweep_is_byte_identical_for_threads_1_2_7() {
+    let one = summary_json(60, 1, 2_017);
+    assert_eq!(one, summary_json(60, 2, 2_017));
+    assert_eq!(one, summary_json(60, 7, 2_017));
+}
+
+#[test]
+fn repeated_runs_write_identical_bytes() {
+    assert_eq!(summary_json(30, 4, 99), summary_json(30, 4, 99));
+}
+
+#[test]
+fn more_threads_than_devices_changes_nothing() {
+    assert_eq!(summary_json(3, 1, 7), summary_json(3, 16, 7));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Arbitrary small fleets at arbitrary seeds: every thread count in
+    /// {1, 2, 7} serializes the same bytes.
+    #[test]
+    fn summary_is_shard_count_invariant(
+        devices in 1u64..24,
+        campaign_seed in 0u64..u64::MAX,
+    ) {
+        let one = summary_json(devices, 1, campaign_seed);
+        prop_assert_eq!(&one, &summary_json(devices, 2, campaign_seed));
+        prop_assert_eq!(&one, &summary_json(devices, 7, campaign_seed));
+    }
+}

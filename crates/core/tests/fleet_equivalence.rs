@@ -1,0 +1,103 @@
+//! N=1 equivalence: the fleet engine adds nothing on top of a device.
+//!
+//! A 1-device campaign must behave exactly like booting a
+//! [`DefendedDevice`] by hand at the derived seed and grinding the same
+//! vector — same call count, same survival, same [`DetectionOutcome`]
+//! sequence. This pins the fleet's per-device semantics (install name,
+//! call options, stop conditions, budget) against an independent
+//! re-implementation, for every vector in the catalog: any drift between
+//! `fleet::run_device` and the single-device path shows up as a diff on
+//! the exact interface that drifted.
+
+use std::sync::Mutex;
+
+use jgre_attack::AttackVector;
+use jgre_core::fleet::{DeviceRun, FleetConfig};
+use jgre_core::{fleet, DefendedDevice, ExperimentScale};
+use jgre_corpus::spec::AospSpec;
+use jgre_framework::FrameworkError;
+use jgre_sim::stream_seed;
+
+/// Hand-rolled single-device attack loop — deliberately independent of
+/// `fleet::run_device`, mirroring its documented semantics.
+fn direct_run(
+    scale: ExperimentScale,
+    vector: &AttackVector,
+    budget: u64,
+) -> (u64, bool, Vec<jgre_core::defense::DetectionOutcome>) {
+    let mut device = DefendedDevice::boot(scale);
+    let mal = device.system_mut().install_app(
+        format!("com.malware.{}.{}", vector.service, vector.method),
+        vector.permissions.iter().copied(),
+    );
+    let mut calls = 0u64;
+    let mut survived = true;
+    for _ in 0..budget {
+        match device.call_service(mal, &vector.service, &vector.method, vector.call_options()) {
+            Ok(outcome) => {
+                calls += 1;
+                if outcome.host_aborted {
+                    survived = false;
+                }
+            }
+            Err(FrameworkError::ServiceDead | FrameworkError::UnknownService(_)) => {
+                survived = false;
+            }
+            Err(e) => panic!("direct run of {}: {e}", vector.label()),
+        }
+        if !survived || !device.detections().is_empty() {
+            break;
+        }
+    }
+    (calls, survived, device.detections().to_vec())
+}
+
+#[test]
+fn one_device_fleet_equals_direct_device_for_every_vector() {
+    let scale = ExperimentScale::quick();
+    let campaign_seed = 2_017;
+    let catalog = AttackVector::all_vectors(&AospSpec::android_6_0_1());
+    assert_eq!(catalog.len(), 57);
+    for (index, vector) in catalog.iter().enumerate() {
+        let config = FleetConfig {
+            devices: 1,
+            campaign_seed,
+            attack: Some(index),
+            ..FleetConfig::new(scale)
+        };
+        let observed: Mutex<Option<DeviceRun>> = Mutex::new(None);
+        let summary = fleet::run_campaign_observed(&config, |run| {
+            *observed.lock().unwrap() = Some(run.clone());
+        });
+        let run = observed.into_inner().unwrap().expect("one device ran");
+        assert_eq!(run.device, 0);
+        assert_eq!(run.seed, stream_seed(campaign_seed, 0));
+        assert_eq!(run.interface, vector.label());
+
+        // Device 0 of a campaign == a hand-booted device at the derived
+        // seed, driven with the documented budget.
+        let device_scale = scale.with_seed(run.seed);
+        let budget = scale.jgr_capacity as u64 * 4;
+        let (calls, survived, detections) = direct_run(device_scale, vector, budget);
+        assert_eq!(run.calls, calls, "{}: call count drifted", vector.label());
+        assert_eq!(
+            run.victim_survived,
+            survived,
+            "{}: survival drifted",
+            vector.label()
+        );
+        assert_eq!(
+            run.detections,
+            detections,
+            "{}: detection sequence drifted",
+            vector.label()
+        );
+
+        // The summary is that run, folded once.
+        assert_eq!(summary.devices, 1);
+        assert_eq!(summary.calls, run.calls);
+        assert_eq!(summary.detected, u64::from(!run.detections.is_empty()));
+        assert_eq!(summary.per_attack.len(), 1);
+        assert_eq!(summary.per_attack[0].interface, vector.label());
+    }
+}

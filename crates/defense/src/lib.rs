@@ -58,6 +58,7 @@ mod monitor;
 mod naive_defense;
 mod scorer;
 mod segment_tree;
+mod streaming;
 
 pub use checkpoint::{
     config_fingerprint, decode_checkpoint, encode_checkpoint, CheckpointReject, DefenderCheckpoint,
@@ -76,6 +77,7 @@ pub use monitor::JgrMonitor;
 pub use naive_defense::{CallCountDefense, CallCountDetection};
 pub use scorer::{naive_scores, segment_tree_scores, ScoreParams, ScoreReport, UidScore};
 pub use segment_tree::SegmentTree;
+pub use streaming::DetectionStats;
 
 /// Record threshold: the runtime starts logging JGR event times once a
 /// process holds this many entries (§V-B).

@@ -182,7 +182,7 @@ pub struct System {
     rng: SimRng,
     driver: BinderDriver,
     service_manager: ServiceManager,
-    spec: AospSpec,
+    spec: Rc<AospSpec>,
     processes: ProcessTable,
     system_server: Pid,
     services: BTreeMap<String, ServiceState>,
@@ -217,13 +217,22 @@ impl System {
 
     /// Boots a device with explicit configuration.
     pub fn boot_with(config: SystemConfig) -> Self {
+        Self::boot_with_spec(config, Rc::new(AospSpec::android_6_0_1()))
+    }
+
+    /// Boots a device from an already-synthesized (possibly shared) spec.
+    ///
+    /// Fleet campaigns boot the same Android image thousands of times per
+    /// worker; sharing one immutable [`AospSpec`] across those boots
+    /// removes the per-device synthesis cost without changing a single
+    /// observable behaviour (the spec is read-only after boot).
+    pub fn boot_with_spec(config: SystemConfig, spec: Rc<AospSpec>) -> Self {
         let clock = SimClock::new();
         let trace = if config.tracing {
             TraceSink::new()
         } else {
             TraceSink::disabled()
         };
-        let spec = AospSpec::android_6_0_1();
         let mut driver = BinderDriver::new(clock.clone(), trace.clone());
         // The fault layer draws from its own stream (decorrelated from the
         // workload RNG inside FaultLayer::new) so enabling faults never
@@ -409,6 +418,12 @@ impl System {
     /// The ground-truth spec the device was booted from.
     pub fn spec(&self) -> &AospSpec {
         &self.spec
+    }
+
+    /// A shareable handle to the spec, for booting further devices from
+    /// the same image without re-synthesizing it.
+    pub fn spec_shared(&self) -> Rc<AospSpec> {
+        Rc::clone(&self.spec)
     }
 
     /// `system_server`'s pid.

@@ -102,6 +102,17 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Discards every pending event and restarts the FIFO tie-break
+    /// counter, keeping the heap's allocation.
+    ///
+    /// Arena-style reuse: a queue cleared between simulation runs behaves
+    /// exactly like a freshly constructed one (same tie-break order for
+    /// identical schedules), without reallocating.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +140,20 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cleared_queue_behaves_like_new() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(4), "stale");
+        q.clear();
+        assert!(q.is_empty());
+        // Same schedule, same tie-break order as a fresh queue.
+        let t = SimTime::from_micros(1);
+        q.schedule(t, "first");
+        q.schedule(t, "second");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["first", "second"]);
     }
 
     #[test]

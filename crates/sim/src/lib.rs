@@ -47,6 +47,6 @@ pub use fault::{
     IpcLogAction, JgrLogAction,
 };
 pub use ids::{Pid, Tid, Uid};
-pub use rng::SimRng;
-pub use stats::{Samples, Summary};
+pub use rng::{stream_seed, SimRng};
+pub use stats::{Histogram, Samples, Summary, HISTOGRAM_BINS};
 pub use trace::{TraceEvent, TraceSink};

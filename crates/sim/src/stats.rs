@@ -143,6 +143,172 @@ impl Samples {
     }
 }
 
+/// Number of log₂ bins in a [`Histogram`]: bin 0 holds zeros, bin `k`
+/// holds values in `[2^(k-1), 2^k)`, bin 64 holds `[2^63, u64::MAX]`.
+pub const HISTOGRAM_BINS: usize = 65;
+
+/// A fixed-size, order-independently mergeable histogram.
+///
+/// Fleet-scale campaigns aggregate millions of sampled durations without
+/// materialising them: every value lands in one of [`HISTOGRAM_BINS`]
+/// log₂-spaced bins, and two histograms merge by adding bins. Because
+/// recording and merging are commutative and associative, the result is
+/// byte-identical no matter how the sample stream was sharded across
+/// workers — the property the fleet determinism harness relies on.
+///
+/// # Example
+///
+/// ```
+/// use jgre_sim::Histogram;
+///
+/// let mut a = Histogram::new();
+/// let mut b = Histogram::new();
+/// a.record(3);
+/// b.record(1_000);
+/// let mut merged = a.clone();
+/// merged.merge(&b);
+/// assert_eq!(merged.count(), 2);
+/// assert_eq!(merged.min(), Some(3));
+/// assert_eq!(merged.max(), Some(1_000));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Per-bin counts (`bins[0]` = zeros, `bins[k]` = `[2^(k-1), 2^k)`).
+    bins: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            bins: vec![0; HISTOGRAM_BINS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bin index `value` falls into.
+    pub fn bin_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive-exclusive value range of bin `index` (the last bin is
+    /// clamped at `u64::MAX`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index >= HISTOGRAM_BINS`.
+    pub fn bin_range(index: usize) -> (u64, u64) {
+        assert!(index < HISTOGRAM_BINS, "bin {index} out of range");
+        match index {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            k => (1 << (k - 1), 1 << k),
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.bins[Self::bin_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Adds every sample of `other` into `self`. Merging is commutative
+    /// and associative, so shard partials can be folded in any order.
+    pub fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bin containing the `p`-th percentile
+    /// (nearest-rank over bins), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p > 100`.
+    pub fn percentile_bound(&self, p: u32) -> Option<u64> {
+        assert!(p <= 100, "percentile out of range: {p}");
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (self.count - 1) * u64::from(p) / 100;
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if n > 0 && seen > rank {
+                // The observed maximum tightens the top populated bin.
+                let (_, hi) = Self::bin_range(i);
+                return Some(hi.saturating_sub(1).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The populated bins as `(lo, hi_exclusive, count)` rows, for
+    /// rendering.
+    pub fn populated_bins(&self) -> Vec<(u64, u64, u64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| {
+                let (lo, hi) = Self::bin_range(i);
+                (lo, hi, n)
+            })
+            .collect()
+    }
+}
+
 impl Extend<u64> for Samples {
     fn extend<T: IntoIterator<Item = u64>>(&mut self, iter: T) {
         for v in iter {
@@ -205,6 +371,64 @@ mod tests {
     #[should_panic(expected = "empty sample set")]
     fn percentile_of_empty_panics() {
         Samples::new().percentile(50);
+    }
+
+    #[test]
+    fn histogram_bins_and_summary() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 1024, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(Histogram::bin_of(0), 0);
+        assert_eq!(Histogram::bin_of(1), 1);
+        assert_eq!(Histogram::bin_of(2), 2);
+        assert_eq!(Histogram::bin_of(3), 2);
+        assert_eq!(Histogram::bin_of(1024), 11);
+        assert_eq!(Histogram::bin_of(u64::MAX), 64);
+        let rows = h.populated_bins();
+        assert_eq!(rows.iter().map(|&(_, _, n)| n).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let values: Vec<u64> = (0..200).map(|i| i * 37 % 4096).collect();
+        let mut whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        // Shard the same stream three ways; every fold order must agree.
+        for shards in [1usize, 2, 7] {
+            let mut partials = vec![Histogram::new(); shards];
+            for (i, &v) in values.iter().enumerate() {
+                partials[i % shards].record(v);
+            }
+            let mut forward = Histogram::new();
+            for p in &partials {
+                forward.merge(p);
+            }
+            let mut backward = Histogram::new();
+            for p in partials.iter().rev() {
+                backward.merge(p);
+            }
+            assert_eq!(forward, whole, "{shards} shards diverged");
+            assert_eq!(backward, whole, "{shards} reverse-fold diverged");
+        }
+    }
+
+    #[test]
+    fn histogram_percentile_bound_brackets_the_value() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile_bound(50).unwrap();
+        // Nearest-rank p50 of 1..=1000 is 500; its bin is [256, 512).
+        assert!((500..512).contains(&p50), "p50 bound {p50}");
+        assert_eq!(h.percentile_bound(100), Some(1000));
+        assert!(Histogram::new().percentile_bound(50).is_none());
     }
 
     #[test]

@@ -41,18 +41,28 @@ COMMANDS:
                clock jitter, failed/respawning kills, defender crashes)
                against the crash-consistent defender; exits nonzero on any
                recovery-invariant violation
+  fleet        fleet campaign — N independent defended devices sharded
+               across worker threads; device i streams its RNG from
+               (seed, i), so the summary is byte-identical for every
+               --threads value (devices/sec footer goes to stderr)
 
 OPTIONS:
   --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
                (default: quick 1/16 scale)
+  --scale S    quick | paper — same presets as --paper, spelled out
   --json       print the raw JSON instead of the rendered table
   --seed N     override the experiment seed (default 2017)
   --cache-dir DIR
                (lint) persist per-SCC summaries under DIR; an unchanged
                corpus re-lints from the cache, an edit recomputes only
                the affected call-graph cone
-  --threads N  (lint) worker threads for the per-wave SCC fan-out
+  --threads N  (lint, fleet) worker threads — the lint's per-wave SCC
+               fan-out, the fleet's device shards
                (default 1; results are identical for every N)
+  --devices N  (fleet) devices to simulate (default 1000)
+  --attack SEL (fleet) catalog selector: a zero-based index, a
+               service.method label, or 'all' to sweep the 57-vector
+               catalog with device i driving vector i mod 57 (default)
   --path-insensitive
                (lint) disable the per-branch predicate reading: no
                JGRE004 error-path findings, no proven-bounded drops —
@@ -62,8 +72,8 @@ OPTIONS:
                jgr-corrupt, clock-jitter, kill-fail, kill-respawn,
                defender-crash
                (default: all; fault-free baselines always run)
-  --out PATH   (chaos) write the matrix as JSON to PATH and the rendered
-               table next to it as PATH with a .txt extension
+  --out PATH   (chaos, fleet) write the result as JSON to PATH and the
+               rendered table next to it as PATH with a .txt extension
   --list-cells (chaos) print the cell ids the matrix would run, one per
                line, without running anything (honors --fault)
 ";
@@ -75,6 +85,9 @@ struct Options {
     fault: Option<jgre_core::sim::FaultKind>,
     out: Option<std::path::PathBuf>,
     list_cells: bool,
+    threads: Option<usize>,
+    devices: u64,
+    attack: Option<String>,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -212,6 +225,59 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
                 ));
             }
         }
+        "fleet" => {
+            let attack = match options.attack.as_deref() {
+                None | Some("all") => None,
+                Some(selector) => {
+                    let spec = jgre_corpus::AospSpec::android_6_0_1();
+                    match jgre_core::attack::AttackVector::resolve(&spec, selector) {
+                        Some((index, _)) => Some(index),
+                        None => {
+                            return Err(format!(
+                                "unknown attack selector: {selector} (use a catalog index, \
+                                 a service.method label, or 'all')"
+                            ))
+                        }
+                    }
+                }
+            };
+            let config = jgre_core::fleet::FleetConfig {
+                devices: options.devices,
+                threads: options.threads.unwrap_or(1),
+                scale,
+                campaign_seed: scale.seed,
+                attack,
+                max_calls: None,
+            };
+            let started = std::time::Instant::now();
+            let summary = jgre_core::run_campaign(&config);
+            let elapsed = started.elapsed();
+            let json = serde_json::to_string_pretty(&summary).expect("fleet summary serialises");
+            let rendered = summary.render();
+            if let Some(path) = &options.out {
+                // The JSON is fully deterministic (no wall-clock fields),
+                // so two runs with the same seed write identical bytes —
+                // the CI smoke job diffs them.
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let txt = path.with_extension("txt");
+                std::fs::write(&txt, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", txt.display()))?;
+            }
+            emit(options, &summary, rendered);
+            // Throughput is wall-clock and thread-dependent, so it goes to
+            // stderr only; stdout and --out stay byte-reproducible.
+            let secs = elapsed.as_secs_f64();
+            let rate = if secs > 0.0 {
+                summary.devices as f64 / secs
+            } else {
+                0.0
+            };
+            eprintln!(
+                "fleet: {} devices in {:.2}s — {:.0} devices/sec on {} thread(s)",
+                summary.devices, secs, rate, config.threads
+            );
+        }
         "all" => {
             for cmd in [
                 "headline", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4",
@@ -234,11 +300,38 @@ fn main() -> ExitCode {
     let mut fault = None;
     let mut out = None;
     let mut list_cells = false;
+    let mut threads = None;
+    let mut devices = 1_000u64;
+    let mut attack = None;
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--paper" => scale = ExperimentScale::paper(),
+            "--scale" => match iter.next().map(String::as_str) {
+                // with_seed keeps an earlier --seed override in force
+                // regardless of flag order.
+                Some("quick") => scale = ExperimentScale::quick().with_seed(scale.seed),
+                Some("paper") => scale = ExperimentScale::paper().with_seed(scale.seed),
+                _ => {
+                    eprintln!("--scale needs 'quick' or 'paper'\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--devices" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) => devices = n,
+                _ => {
+                    eprintln!("--devices needs a number\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--attack" => match iter.next() {
+                Some(selector) => attack = Some(selector.clone()),
+                None => {
+                    eprintln!("--attack needs a selector (or 'all')\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--json" => json = true,
             "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
                 Some(Ok(seed)) => scale = scale.with_seed(seed),
@@ -256,7 +349,10 @@ fn main() -> ExitCode {
             },
             "--path-insensitive" => analysis.path_sensitive = false,
             "--threads" => match iter.next().map(|s| s.parse::<usize>()) {
-                Some(Ok(threads)) if threads > 0 => analysis.threads = Some(threads),
+                Some(Ok(n)) if n > 0 => {
+                    analysis.threads = Some(n);
+                    threads = Some(n);
+                }
                 _ => {
                     eprintln!("--threads needs a positive number\n\n{USAGE}");
                     return ExitCode::FAILURE;
@@ -310,6 +406,9 @@ fn main() -> ExitCode {
             fault,
             out,
             list_cells,
+            threads,
+            devices,
+            attack,
         },
     ) {
         Ok(()) => ExitCode::SUCCESS,
