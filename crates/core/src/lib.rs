@@ -52,10 +52,12 @@ mod device;
 pub mod experiments;
 pub mod fleet;
 mod scale;
+pub mod tap;
 
 pub use device::DefendedDevice;
 pub use fleet::{run_campaign, run_campaign_observed, FleetConfig, FleetSummary};
 pub use scale::ExperimentScale;
+pub use tap::{tap_attack_events, TappedStream};
 
 // Re-export the layer crates so downstream users need one dependency.
 pub use jgre_analysis as analysis;

@@ -1,0 +1,229 @@
+//! Device event tap: drive a real simulated device under an attack
+//! vector and capture the merged telemetry stream the streaming
+//! defender ingests.
+//!
+//! The tap runs an *undefended* [`System`], installs the vector's
+//! attacker plus one chatty benign app, and records both sides of the
+//! correlation: every Binder-log [`IpcRecord`](jgre_binder::IpcRecord)
+//! becomes a [`StreamEvent::Ipc`], every JGR add on the victim process a
+//! [`StreamEvent::JgrAdd`]. Events come out in device order — time
+//! ascending, Binder record before IRT add on ties — which is exactly
+//! the invariant the incremental correlator's batch-equality rests on.
+//!
+//! This is the bridge between the fleet simulation and `jgre serve`: the
+//! differential suite replays tapped streams through the streaming path
+//! and checks the verdicts against batch scoring, and the serve command
+//! uses [`TappedStream::characteristic_delay`] to parameterize its
+//! synthetic source with a vector's true IPC→JGR latency.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jgre_art::{JgrEvent, JgrEventKind, JgrObserver};
+use jgre_attack::AttackVector;
+use jgre_defense::stream::StreamEvent;
+use jgre_framework::{CallOptions, System};
+use jgre_sim::{Pid, SimDuration, SimTime, Uid};
+
+use crate::ExperimentScale;
+
+/// Everything one tap run captured.
+#[derive(Debug, Clone)]
+pub struct TappedStream {
+    /// `service.method` of the driven vector.
+    pub interface: String,
+    /// The attacker's uid.
+    pub attacker: Uid,
+    /// The benign app's uid.
+    pub benign: Uid,
+    /// The victim process hosting the attacked service.
+    pub victim: Option<Pid>,
+    /// The merged stream, device-ordered.
+    pub events: Vec<StreamEvent>,
+    /// Binder-log records captured.
+    pub calls: u64,
+    /// Victim JGR adds captured.
+    pub adds: u64,
+}
+
+impl TappedStream {
+    /// Median delay between an attacker call and the next victim JGR
+    /// add — the vector's timing signature, used to parameterize the
+    /// synthetic serve source. `None` when the tap saw no (call, add)
+    /// pair.
+    pub fn characteristic_delay(&self) -> Option<SimDuration> {
+        let mut delays: Vec<u64> = Vec::new();
+        let mut last_attacker_call: Option<SimTime> = None;
+        for event in &self.events {
+            match event {
+                StreamEvent::Ipc { at, uid, .. } if *uid == self.attacker => {
+                    last_attacker_call = Some(*at);
+                }
+                StreamEvent::JgrAdd { at } => {
+                    if let Some(call) = last_attacker_call.take() {
+                        delays.push(at.saturating_since(call).as_micros());
+                    }
+                }
+                StreamEvent::Ipc { .. } => {}
+            }
+        }
+        if delays.is_empty() {
+            return None;
+        }
+        delays.sort_unstable();
+        Some(SimDuration::from_micros(delays[delays.len() / 2]))
+    }
+}
+
+/// A [`JgrObserver`] buffering every event for post-run extraction.
+#[derive(Debug, Default)]
+struct RecordingObserver {
+    events: RefCell<Vec<JgrEvent>>,
+}
+
+impl JgrObserver for RecordingObserver {
+    fn on_jgr_event(&self, event: JgrEvent) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// Drives `vector` against an undefended device for up to `max_calls`
+/// attacker calls (stopping early if the victim dies) with benign
+/// clipboard traffic interleaved every third call, and returns the
+/// merged telemetry stream.
+pub fn tap_attack_events(
+    scale: ExperimentScale,
+    vector: &AttackVector,
+    max_calls: u64,
+) -> TappedStream {
+    let mut system = System::boot_with(scale.system_config());
+    let observer = Rc::new(RecordingObserver::default());
+    system.register_jgr_observer(observer.clone() as Rc<dyn JgrObserver>);
+
+    let attacker = system.install_app(
+        format!("com.tap.{}.{}", vector.service, vector.method),
+        vector.permissions.iter().copied(),
+    );
+    let benign = system.install_app("com.tap.benign", []);
+
+    let mut victim = None;
+    for k in 0..max_calls {
+        match system.call_service(
+            attacker,
+            &vector.service,
+            &vector.method,
+            vector.call_options(),
+        ) {
+            Ok(outcome) => {
+                if outcome.host_aborted {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+        if victim.is_none() {
+            victim = system
+                .driver()
+                .log_since(SimTime::ZERO)
+                .last()
+                .map(|r| r.to_pid);
+        }
+        if k % 3 == 2 {
+            let _ = system.call_service(benign, "clipboard", "getState", CallOptions::benign());
+        }
+    }
+
+    let mut calls = 0u64;
+    let mut adds = 0u64;
+    // Merge tag: Binder record before IRT add at equal times, mirroring
+    // the device's dispatch order (the driver logs the transaction, then
+    // the handler creates its references).
+    let mut tagged: Vec<(SimTime, u8, StreamEvent)> = Vec::new();
+    for record in system.driver().log_since(SimTime::ZERO) {
+        calls += 1;
+        tagged.push((
+            record.at,
+            0,
+            StreamEvent::Ipc {
+                at: record.at,
+                uid: record.from_uid,
+                ipc_type: record.ipc_type(),
+            },
+        ));
+    }
+    for event in observer.events.borrow().iter() {
+        if event.kind != JgrEventKind::Add {
+            continue;
+        }
+        if victim.is_some_and(|v| v != event.pid) {
+            continue;
+        }
+        adds += 1;
+        tagged.push((event.at, 1, StreamEvent::JgrAdd { at: event.at }));
+    }
+    tagged.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    TappedStream {
+        interface: format!("{}.{}", vector.service, vector.method),
+        attacker,
+        benign,
+        victim,
+        events: tagged.into_iter().map(|(_, _, e)| e).collect(),
+        calls,
+        adds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jgre_corpus::spec::AospSpec;
+
+    fn first_vector() -> (AospSpec, AttackVector) {
+        let spec = AospSpec::android_6_0_1();
+        let vector = AttackVector::all_vectors(&spec)
+            .into_iter()
+            .next()
+            .expect("spec has vectors");
+        (spec, vector)
+    }
+
+    #[test]
+    fn tap_is_deterministic_and_ordered() {
+        let (_, vector) = first_vector();
+        let a = tap_attack_events(ExperimentScale::quick(), &vector, 60);
+        let b = tap_attack_events(ExperimentScale::quick(), &vector, 60);
+        assert_eq!(a.events, b.events);
+        assert!(a.calls > 0 && a.adds > 0, "tap saw traffic: {a:?}");
+        assert!(a.events.windows(2).all(|w| w[0].at() <= w[1].at()));
+    }
+
+    #[test]
+    fn tap_captures_both_apps_and_the_victims_adds() {
+        let (_, vector) = first_vector();
+        let tap = tap_attack_events(ExperimentScale::quick(), &vector, 60);
+        let attacker_calls = tap
+            .events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Ipc { uid, .. } if *uid == tap.attacker))
+            .count();
+        let benign_calls = tap
+            .events
+            .iter()
+            .filter(|e| matches!(e, StreamEvent::Ipc { uid, .. } if *uid == tap.benign))
+            .count();
+        assert!(attacker_calls > 0);
+        assert!(benign_calls > 0);
+        assert!(tap.victim.is_some());
+    }
+
+    #[test]
+    fn characteristic_delay_is_positive_and_stable() {
+        let (_, vector) = first_vector();
+        let tap = tap_attack_events(ExperimentScale::quick(), &vector, 60);
+        let delay = tap.characteristic_delay().expect("attack produces pairs");
+        assert!(delay.as_micros() > 0);
+        let again = tap_attack_events(ExperimentScale::quick(), &vector, 60);
+        assert_eq!(again.characteristic_delay(), Some(delay));
+    }
+}

@@ -58,6 +58,7 @@ mod monitor;
 mod naive_defense;
 mod scorer;
 mod segment_tree;
+pub mod stream;
 mod streaming;
 
 pub use checkpoint::{
@@ -75,7 +76,9 @@ pub use journal::{
 };
 pub use monitor::JgrMonitor;
 pub use naive_defense::{CallCountDefense, CallCountDetection};
-pub use scorer::{naive_scores, segment_tree_scores, ScoreParams, ScoreReport, UidScore};
+pub use scorer::{
+    naive_scores, segment_tree_scores, IncrementalScorer, ScoreParams, ScoreReport, UidScore,
+};
 pub use segment_tree::SegmentTree;
 pub use streaming::DetectionStats;
 

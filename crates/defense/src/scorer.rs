@@ -9,7 +9,7 @@
 //! thinly — which is why the score separates attackers from even very
 //! chatty benign apps (Figures 8/9).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use jgre_sim::{SimDuration, SimTime, Uid};
 use serde::{Deserialize, Serialize};
@@ -71,12 +71,31 @@ impl ScoreReport {
 
 /// Computes Algorithm 1 with the segment-tree histogram (the deployed
 /// configuration).
+///
+/// Since the streaming defender landed, this is a thin wrapper over
+/// [`IncrementalScorer`]: the batch call seeds every IPC call into the
+/// correlator, streams the JGR adds through it, and snapshots the report.
+/// Batch and streaming verdicts are therefore equal *by construction* —
+/// they execute the same vote arithmetic — while [`naive_scores`] stays an
+/// independent flat-array implementation for real differential power.
 pub fn segment_tree_scores(
     ipc_by_uid: &BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>>,
     jgr_adds: &[SimTime],
     params: ScoreParams,
 ) -> ScoreReport {
-    score_impl(ipc_by_uid, jgr_adds, params, HistogramKind::SegmentTree)
+    let mut scorer = IncrementalScorer::new(params);
+    for (&uid, types) in ipc_by_uid {
+        scorer.track_app(uid);
+        for (ipc_type, calls) in types {
+            for &call in calls {
+                scorer.push_ipc(uid, ipc_type, call);
+            }
+        }
+    }
+    for &add in jgr_adds {
+        scorer.push_add(add);
+    }
+    scorer.report()
 }
 
 /// Computes Algorithm 1 with a flat array histogram (the ablation
@@ -86,24 +105,9 @@ pub fn naive_scores(
     jgr_adds: &[SimTime],
     params: ScoreParams,
 ) -> ScoreReport {
-    score_impl(ipc_by_uid, jgr_adds, params, HistogramKind::Naive)
-}
-
-enum HistogramKind {
-    SegmentTree,
-    Naive,
-}
-
-fn score_impl(
-    ipc_by_uid: &BTreeMap<Uid, BTreeMap<String, Vec<SimTime>>>,
-    jgr_adds: &[SimTime],
-    params: ScoreParams,
-    kind: HistogramKind,
-) -> ScoreReport {
     assert!(params.bin.as_micros() > 0, "bin width must be positive");
     let bins = (params.window.as_micros() / params.bin.as_micros()) as usize + 2;
     let delta_bins = (params.delta.as_micros() / params.bin.as_micros()) as usize;
-    let mut tree = SegmentTree::new(bins);
     let mut naive = vec![0u64; bins];
     let mut pairs_processed = 0u64;
     let mut records_scanned = 0u64;
@@ -114,10 +118,7 @@ fn score_impl(
         let mut total = 0u64;
         for (ipc_type, calls) in types {
             records_scanned += calls.len() as u64;
-            match kind {
-                HistogramKind::SegmentTree => tree.clear(),
-                HistogramKind::Naive => naive.fill(0),
-            }
+            naive.fill(0);
             let mut any = false;
             // Both series are time-ordered; a moving lower bound keeps the
             // pairing linear in (calls + adds + pairs).
@@ -133,13 +134,8 @@ fn score_impl(
                     let min_delay = (add - calls[i]).as_micros();
                     let lo = (min_delay / params.bin.as_micros()) as usize;
                     let hi = lo + delta_bins;
-                    match kind {
-                        HistogramKind::SegmentTree => tree.range_add(lo, hi, 1),
-                        HistogramKind::Naive => {
-                            for slot in naive[lo.min(bins - 1)..=hi.min(bins - 1)].iter_mut() {
-                                *slot += 1;
-                            }
-                        }
+                    for slot in naive[lo.min(bins - 1)..=hi.min(bins - 1)].iter_mut() {
+                        *slot += 1;
                     }
                     pairs_processed += 1;
                     any = true;
@@ -149,10 +145,7 @@ fn score_impl(
             let this_type_max = if !any {
                 0
             } else {
-                match kind {
-                    HistogramKind::SegmentTree => tree.global_max(),
-                    HistogramKind::Naive => *naive.iter().max().expect("bins > 0"),
-                }
+                *naive.iter().max().expect("bins > 0")
             };
             if this_type_max > 0 {
                 per_type.push((ipc_type.clone(), this_type_max));
@@ -170,6 +163,238 @@ fn score_impl(
         scores,
         pairs_processed,
         records_scanned,
+    }
+}
+
+/// Live per-IPC-type correlation state: the delay histogram, the calls
+/// still inside the pairing window, and the votes awaiting retraction.
+#[derive(Debug, Clone)]
+struct TypeState {
+    tree: SegmentTree,
+    /// Calls not yet aged out of the window, oldest first. The front is
+    /// popped the instant an add's window floor passes it — the moving
+    /// lower bound of the batch pairing, made persistent.
+    calls: VecDeque<SimTime>,
+    /// Ring of pending vote retractions `(expires_at, lo, hi)`, expiry-
+    /// ordered because votes are appended in add order. Only populated
+    /// when a horizon is set.
+    retractions: VecDeque<(SimTime, usize, usize)>,
+}
+
+impl TypeState {
+    fn new(bins: usize) -> Self {
+        Self {
+            tree: SegmentTree::new(bins),
+            calls: VecDeque::new(),
+            retractions: VecDeque::new(),
+        }
+    }
+}
+
+/// Algorithm 1 as an *incremental* sliding-window correlator.
+///
+/// The batch scorer clears and rebuilds the whole delay histogram on every
+/// poll, so each poll costs O(pairs in window) even when only a handful of
+/// events arrived since the last one. This form keeps the histogram alive
+/// between events: an IPC call enters the per-type deque in O(1), a JGR
+/// add votes with one `range_add(+1)` per paired call (O(log bins) each),
+/// and — when a [`horizon`](Self::with_horizon) is set — a vote leaving
+/// the sliding window is undone with the mirrored `range_add(−1)` from the
+/// retraction ring. Scoring cost tracks the *event rate*, not the window
+/// size.
+///
+/// Feeding events out of time order is allowed but mirrors the batch
+/// semantics: calls older than an already-processed add's window floor
+/// have been evicted and will not vote retroactively.
+///
+/// # Example
+///
+/// ```
+/// use jgre_defense::{IncrementalScorer, ScoreParams};
+/// use jgre_sim::{SimTime, Uid};
+///
+/// let mut scorer = IncrementalScorer::new(ScoreParams::default());
+/// let attacker = Uid::new(10_061);
+/// for k in 0..10u64 {
+///     scorer.push_ipc(attacker, "IClipboard.listen", SimTime::from_micros(1_000 + k * 2_000));
+///     scorer.push_add(SimTime::from_micros(1_500 + k * 2_000));
+/// }
+/// let report = scorer.report();
+/// assert_eq!(report.top().unwrap().uid, attacker);
+/// assert_eq!(report.top().unwrap().score, 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalScorer {
+    params: ScoreParams,
+    bins: usize,
+    delta_bins: usize,
+    horizon: Option<SimDuration>,
+    states: BTreeMap<Uid, BTreeMap<String, TypeState>>,
+    pairs_processed: u64,
+    records_scanned: u64,
+}
+
+impl IncrementalScorer {
+    /// Creates a correlator with no retraction horizon: votes accumulate
+    /// forever, which is exactly the batch semantics (and what the batch
+    /// wrapper uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `params.bin` is zero.
+    pub fn new(params: ScoreParams) -> Self {
+        assert!(params.bin.as_micros() > 0, "bin width must be positive");
+        let bins = (params.window.as_micros() / params.bin.as_micros()) as usize + 2;
+        let delta_bins = (params.delta.as_micros() / params.bin.as_micros()) as usize;
+        Self {
+            params,
+            bins,
+            delta_bins,
+            horizon: None,
+            states: BTreeMap::new(),
+            pairs_processed: 0,
+            records_scanned: 0,
+        }
+    }
+
+    /// Creates a correlator whose votes expire `horizon` after the add
+    /// that cast them: the histogram continuously reflects only the last
+    /// `horizon` of adds, so a long-running service never has to reset to
+    /// forget stale traffic.
+    pub fn with_horizon(params: ScoreParams, horizon: SimDuration) -> Self {
+        let mut scorer = Self::new(params);
+        scorer.horizon = Some(horizon);
+        scorer
+    }
+
+    /// The scoring parameters.
+    pub fn params(&self) -> ScoreParams {
+        self.params
+    }
+
+    /// Registers an app so it appears in reports (with a zero score)
+    /// even before any of its calls are recorded. `push_ipc` does this
+    /// implicitly; the batch wrapper uses it for apps whose log slice
+    /// happens to hold no records.
+    pub fn track_app(&mut self, uid: Uid) {
+        self.states.entry(uid).or_default();
+    }
+
+    /// Records one Binder-log record: `uid` invoked `ipc_type` at `at`.
+    pub fn push_ipc(&mut self, uid: Uid, ipc_type: &str, at: SimTime) {
+        self.records_scanned += 1;
+        let bins = self.bins;
+        let types = self.states.entry(uid).or_default();
+        if !types.contains_key(ipc_type) {
+            types.insert(ipc_type.to_owned(), TypeState::new(bins));
+        }
+        let state = types.get_mut(ipc_type).expect("state just ensured");
+        state.calls.push_back(at);
+    }
+
+    /// Records one JGR add at `add`: every live call within the window
+    /// votes for its delay band, and (with a horizon) expired votes are
+    /// retracted first.
+    pub fn push_add(&mut self, add: SimTime) {
+        self.retract_until(add);
+        let bin_us = self.params.bin.as_micros();
+        let floor = add
+            .as_micros()
+            .saturating_sub(self.params.window.as_micros());
+        let mut pairs = 0u64;
+        for types in self.states.values_mut() {
+            for state in types.values_mut() {
+                while state.calls.front().is_some_and(|c| c.as_micros() < floor) {
+                    state.calls.pop_front();
+                }
+                for &call in &state.calls {
+                    if call > add {
+                        break;
+                    }
+                    let lo = ((add - call).as_micros() / bin_us) as usize;
+                    let hi = lo + self.delta_bins;
+                    state.tree.range_add(lo, hi, 1);
+                    if let Some(horizon) = self.horizon {
+                        state.retractions.push_back((add + horizon, lo, hi));
+                    }
+                    pairs += 1;
+                }
+            }
+        }
+        self.pairs_processed += pairs;
+    }
+
+    /// Advances the sliding window to `now`, retracting every vote whose
+    /// add is older than the horizon. A no-op without a horizon.
+    pub fn advance(&mut self, now: SimTime) {
+        self.retract_until(now);
+    }
+
+    fn retract_until(&mut self, now: SimTime) {
+        if self.horizon.is_none() {
+            return;
+        }
+        for types in self.states.values_mut() {
+            for state in types.values_mut() {
+                while let Some(&(expires, lo, hi)) = state.retractions.front() {
+                    if expires > now {
+                        break;
+                    }
+                    state.tree.range_add(lo, hi, -1);
+                    state.retractions.pop_front();
+                }
+            }
+        }
+    }
+
+    /// Votes currently live in the histograms (cast and not yet
+    /// retracted). Without a horizon this only ever grows.
+    pub fn live_votes(&self) -> u64 {
+        match self.horizon {
+            // With a horizon every live vote has a pending retraction.
+            Some(_) => self
+                .states
+                .values()
+                .flat_map(|t| t.values())
+                .map(|s| s.retractions.len() as u64)
+                .sum(),
+            None => self.pairs_processed,
+        }
+    }
+
+    /// Snapshots the current scores without disturbing the live state.
+    pub fn report(&self) -> ScoreReport {
+        let mut scores = Vec::with_capacity(self.states.len());
+        for (&uid, types) in &self.states {
+            let mut per_type = Vec::new();
+            let mut total = 0u64;
+            for (ipc_type, state) in types {
+                let this_type_max = state.tree.global_max();
+                if this_type_max > 0 {
+                    per_type.push((ipc_type.clone(), this_type_max));
+                }
+                total += this_type_max;
+            }
+            scores.push(UidScore {
+                uid,
+                score: total,
+                per_type,
+            });
+        }
+        scores.sort_by(|a, b| b.score.cmp(&a.score).then(a.uid.cmp(&b.uid)));
+        ScoreReport {
+            scores,
+            pairs_processed: self.pairs_processed,
+            records_scanned: self.records_scanned,
+        }
+    }
+
+    /// Forgets every call, vote, and counter — the post-verdict window
+    /// reset, equivalent to constructing afresh (allocations aside).
+    pub fn reset(&mut self) {
+        self.states.clear();
+        self.pairs_processed = 0;
+        self.records_scanned = 0;
     }
 }
 
@@ -291,6 +516,141 @@ mod tests {
                 w.score
             );
         }
+    }
+
+    /// One stream event: its time, and `Some((uid, type))` for a call or
+    /// `None` for an add.
+    type StreamItem = (SimTime, Option<(Uid, String)>);
+
+    /// The workload's calls and adds merged into stream order: time
+    /// ascending, call before add on ties (the device's Binder-then-IRT
+    /// ordering).
+    fn stream_order(workload: &Workload) -> Vec<StreamItem> {
+        let (ipc, adds) = workload;
+        // Middle field is the tie-break tag: calls sort before adds.
+        let mut events = Vec::new();
+        for (&uid, types) in ipc {
+            for (ty, calls) in types {
+                for &c in calls {
+                    events.push((c, 0, Some((uid, ty.clone()))));
+                }
+            }
+        }
+        for &a in adds {
+            events.push((a, 1, None));
+        }
+        events.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+        events.into_iter().map(|(t, _, k)| (t, k)).collect()
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_interleaved_stream() {
+        let workload = workload();
+        for delta_us in [79u64, 1_900, 3_583] {
+            let params = ScoreParams {
+                delta: SimDuration::from_micros(delta_us),
+                ..ScoreParams::default()
+            };
+            let mut scorer = IncrementalScorer::new(params);
+            for (at, kind) in stream_order(&workload) {
+                match kind {
+                    Some((uid, ty)) => scorer.push_ipc(uid, &ty, at),
+                    None => scorer.push_add(at),
+                }
+            }
+            let streamed = scorer.report();
+            let batch = segment_tree_scores(&workload.0, &workload.1, params);
+            assert_eq!(streamed.scores, batch.scores, "delta={delta_us}");
+            assert_eq!(streamed.pairs_processed, batch.pairs_processed);
+            assert_eq!(streamed.records_scanned, batch.records_scanned);
+        }
+    }
+
+    #[test]
+    fn horizon_retraction_matches_batch_over_recent_adds() {
+        let workload = workload();
+        let params = ScoreParams::default();
+        let horizon = SimDuration::from_millis(100);
+        let mut scorer = IncrementalScorer::with_horizon(params, horizon);
+        for (at, kind) in stream_order(&workload) {
+            match kind {
+                Some((uid, ty)) => scorer.push_ipc(uid, &ty, at),
+                None => scorer.push_add(at),
+            }
+        }
+        // Advance the window to the final add (benign calls trail far
+        // behind it and must not expire the attack's votes).
+        let last_add = *workload.1.iter().max().expect("workload has adds");
+        scorer.advance(last_add);
+        let streamed = scorer.report();
+        // Only adds younger than the horizon still hold votes; the batch
+        // over exactly those adds must agree on every score.
+        let floor = last_add.as_micros().saturating_sub(horizon.as_micros());
+        let recent: Vec<SimTime> = workload
+            .1
+            .iter()
+            .copied()
+            .filter(|a| a.as_micros() > floor)
+            .collect();
+        assert!(
+            !recent.is_empty() && recent.len() < workload.1.len(),
+            "horizon must split the adds for the test to bite"
+        );
+        let batch = segment_tree_scores(&workload.0, &recent, params);
+        assert_eq!(streamed.scores, batch.scores);
+        assert_eq!(
+            scorer.live_votes(),
+            batch.pairs_processed,
+            "live votes equal the batch pair count over surviving adds"
+        );
+    }
+
+    #[test]
+    fn advance_far_past_everything_retracts_all_votes() {
+        let (ipc, adds) = workload();
+        let mut scorer =
+            IncrementalScorer::with_horizon(ScoreParams::default(), SimDuration::from_millis(50));
+        for (&uid, types) in &ipc {
+            for (ty, calls) in types {
+                for &c in calls {
+                    scorer.push_ipc(uid, ty, c);
+                }
+            }
+        }
+        for &a in &adds {
+            scorer.push_add(a);
+        }
+        scorer.advance(SimTime::from_micros(u64::MAX / 2));
+        let report = scorer.report();
+        assert_eq!(scorer.live_votes(), 0);
+        assert!(
+            report.scores.iter().all(|s| s.score == 0),
+            "all votes retracted: {:?}",
+            report.scores
+        );
+        assert!(report.pairs_processed > 0, "pairs counter is cumulative");
+    }
+
+    #[test]
+    fn reset_forgets_everything() {
+        let (ipc, adds) = workload();
+        let mut scorer = IncrementalScorer::new(ScoreParams::default());
+        for (&uid, types) in &ipc {
+            for (ty, calls) in types {
+                for &c in calls {
+                    scorer.push_ipc(uid, ty, c);
+                }
+            }
+        }
+        for &a in &adds {
+            scorer.push_add(a);
+        }
+        assert!(!scorer.report().scores.is_empty());
+        scorer.reset();
+        let report = scorer.report();
+        assert!(report.scores.is_empty());
+        assert_eq!(report.pairs_processed, 0);
+        assert_eq!(report.records_scanned, 0);
     }
 
     #[test]

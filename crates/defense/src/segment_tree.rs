@@ -18,8 +18,8 @@
 #[derive(Debug, Clone)]
 pub struct SegmentTree {
     n: usize,
-    max: Vec<u64>,
-    lazy: Vec<u64>,
+    max: Vec<i64>,
+    lazy: Vec<i64>,
 }
 
 impl SegmentTree {
@@ -48,7 +48,12 @@ impl SegmentTree {
     }
 
     /// Adds `value` to every bin in `lo..=hi` (clamped to the bin range).
-    pub fn range_add(&mut self, lo: usize, hi: usize, value: u64) {
+    ///
+    /// `value` may be negative: the incremental correlator retracts an
+    /// earlier vote by replaying the identical range with the sign
+    /// flipped. As long as every negative add mirrors a previous positive
+    /// one, no bin ever dips below zero.
+    pub fn range_add(&mut self, lo: usize, hi: usize, value: i64) {
         if lo > hi || lo >= self.n {
             return;
         }
@@ -56,7 +61,7 @@ impl SegmentTree {
         self.add_rec(1, 0, self.n - 1, lo, hi, value);
     }
 
-    fn add_rec(&mut self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize, value: u64) {
+    fn add_rec(&mut self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize, value: i64) {
         if lo <= nl && nr <= hi {
             self.max[node] += value;
             self.lazy[node] += value;
@@ -72,26 +77,26 @@ impl SegmentTree {
         self.max[node] = self.lazy[node] + self.max[node * 2].max(self.max[node * 2 + 1]);
     }
 
-    /// Maximum over all bins.
+    /// Maximum over all bins (clamped at zero).
     pub fn global_max(&self) -> u64 {
-        self.max[1]
+        self.max[1].max(0) as u64
     }
 
-    /// Maximum over `lo..=hi` (clamped).
+    /// Maximum over `lo..=hi` (clamped to the bin range and at zero).
     pub fn range_max(&self, lo: usize, hi: usize) -> u64 {
         if lo > hi || lo >= self.n {
             return 0;
         }
         let hi = hi.min(self.n - 1);
-        self.max_rec(1, 0, self.n - 1, lo, hi)
+        self.max_rec(1, 0, self.n - 1, lo, hi).max(0) as u64
     }
 
-    fn max_rec(&self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize) -> u64 {
+    fn max_rec(&self, node: usize, nl: usize, nr: usize, lo: usize, hi: usize) -> i64 {
         if lo <= nl && nr <= hi {
             return self.max[node];
         }
         let mid = (nl + nr) / 2;
-        let mut best = 0;
+        let mut best = i64::MIN;
         if lo <= mid {
             best = best.max(self.max_rec(node * 2, nl, mid, lo, hi.min(mid)));
         }
@@ -144,6 +149,55 @@ mod tests {
     }
 
     #[test]
+    fn negative_adds_retract_prior_votes() {
+        let mut t = SegmentTree::new(32);
+        t.range_add(4, 10, 1);
+        t.range_add(8, 14, 1);
+        assert_eq!(t.global_max(), 2);
+        t.range_add(4, 10, -1);
+        assert_eq!(t.global_max(), 1);
+        assert_eq!(t.range_max(4, 7), 0);
+        assert_eq!(t.range_max(8, 14), 1);
+        t.range_add(8, 14, -1);
+        assert_eq!(t.global_max(), 0);
+    }
+
+    #[test]
+    fn interleaved_retractions_match_naive() {
+        // Adds and their exact inverses, interleaved with fresh adds, must
+        // track a plain array at every step.
+        let n = 64;
+        let mut tree = SegmentTree::new(n);
+        let mut naive = vec![0i64; n];
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for step in 0..400 {
+            let a = next() % n;
+            let b = next() % n;
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            tree.range_add(lo, hi, 1);
+            for slot in &mut naive[lo..=hi] {
+                *slot += 1;
+            }
+            pending.push((lo, hi));
+            if step % 3 == 2 {
+                let (lo, hi) = pending.remove(next() % pending.len());
+                tree.range_add(lo, hi, -1);
+                for slot in &mut naive[lo..=hi] {
+                    *slot -= 1;
+                }
+            }
+            assert_eq!(tree.global_max() as i64, *naive.iter().max().unwrap());
+        }
+    }
+
+    #[test]
     fn clear_resets() {
         let mut t = SegmentTree::new(16);
         t.range_add(0, 15, 7);
@@ -169,10 +223,10 @@ mod tests {
             let a = next() % n;
             let b = next() % n;
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            let v = (next() % 5 + 1) as u64;
+            let v = (next() % 5 + 1) as i64;
             tree.range_add(lo, hi, v);
             for slot in &mut naive[lo..=hi] {
-                *slot += v;
+                *slot += v as u64;
             }
             assert_eq!(tree.global_max(), *naive.iter().max().unwrap());
             let qa = next() % n;

@@ -10,6 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::stream::IngestStats;
 use crate::{DegradationCause, DetectionOutcome, ScoringKind};
 
 /// Fixed-size accumulator over a stream of [`DetectionOutcome`]s.
@@ -53,6 +54,13 @@ pub struct DetectionStats {
     pub kill_failures: u64,
     /// [`DegradationCause::RecoveryIncomplete`] occurrences.
     pub recovery_incomplete: u64,
+    /// Streaming-ingest events accepted into the scoring ring.
+    pub ingest_accepted: u64,
+    /// Streaming-ingest events dropped by ring backpressure.
+    pub ingest_dropped: u64,
+    /// Streaming-ingest frames refused by the protocol layer (checksum,
+    /// version, or malformed payload).
+    pub ingest_rejected: u64,
 }
 
 impl DetectionStats {
@@ -96,6 +104,14 @@ impl DetectionStats {
         }
     }
 
+    /// Folds one streaming run's ingestion accounting into the counters,
+    /// surfacing ring drops and protocol rejections at fleet level.
+    pub fn absorb_ingest(&mut self, ingest: &IngestStats) {
+        self.ingest_accepted += ingest.accepted;
+        self.ingest_dropped += ingest.dropped_backpressure;
+        self.ingest_rejected += ingest.rejected();
+    }
+
     /// Adds `other`'s counters into `self` (commutative and associative).
     pub fn merge(&mut self, other: &Self) {
         self.outcomes += other.outcomes;
@@ -114,6 +130,9 @@ impl DetectionStats {
         self.unsorted_timestamps += other.unsorted_timestamps;
         self.kill_failures += other.kill_failures;
         self.recovery_incomplete += other.recovery_incomplete;
+        self.ingest_accepted += other.ingest_accepted;
+        self.ingest_dropped += other.ingest_dropped;
+        self.ingest_rejected += other.ingest_rejected;
     }
 }
 

@@ -37,6 +37,7 @@ mod event;
 mod fault;
 mod ids;
 mod rng;
+pub mod source;
 mod stats;
 mod trace;
 

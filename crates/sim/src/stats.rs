@@ -278,20 +278,48 @@ impl Histogram {
     /// Panics if `p > 100`.
     pub fn percentile_bound(&self, p: u32) -> Option<u64> {
         assert!(p <= 100, "percentile out of range: {p}");
+        self.quantile(f64::from(p) / 100.0)
+    }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 ≤ q ≤ 1.0`).
+    ///
+    /// Log₂ bins cannot resolve the exact order statistic, so the answer
+    /// is the upper edge of the bin holding the nearest-rank sample —
+    /// an estimate that never under-reports a latency. The observed
+    /// maximum tightens the top populated bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!(
+            (0.0..=1.0).contains(&q) && !q.is_nan(),
+            "quantile out of range: {q}"
+        );
         if self.count == 0 {
             return None;
         }
-        let rank = (self.count - 1) * u64::from(p) / 100;
+        // Same nearest-rank convention as `Samples::percentile`.
+        let rank = ((self.count - 1) as f64 * q) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.bins.iter().enumerate() {
             seen += n;
             if n > 0 && seen > rank {
-                // The observed maximum tightens the top populated bin.
                 let (_, hi) = Self::bin_range(i);
                 return Some(hi.saturating_sub(1).min(self.max));
             }
         }
         Some(self.max)
+    }
+
+    /// Upper-bound estimate of the median (`quantile(0.5)`).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// Upper-bound estimate of the 99th percentile (`quantile(0.99)`).
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
     }
 
     /// The populated bins as `(lo, hi_exclusive, count)` rows, for
@@ -416,6 +444,53 @@ mod tests {
             assert_eq!(forward, whole, "{shards} shards diverged");
             assert_eq!(backward, whole, "{shards} reverse-fold diverged");
         }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // Nearest-rank p50 of 1..=1000 is 500 (bin [256, 512)); p99 is
+        // 990 (bin [512, 1024), tightened by the observed max).
+        let p50 = h.p50().unwrap();
+        assert!((500..512).contains(&p50), "p50 bound {p50}");
+        let p99 = h.p99().unwrap();
+        assert!((990..=1000).contains(&p99), "p99 bound {p99}");
+        // The quantile never under-reports the true order statistic.
+        for (q, exact) in [
+            (0.0, 1u64),
+            (0.25, 250),
+            (0.5, 500),
+            (0.99, 990),
+            (1.0, 1000),
+        ] {
+            assert!(h.quantile(q).unwrap() >= exact, "q={q}");
+        }
+        // Accessors agree with the percentile_bound convention.
+        assert_eq!(h.p50(), h.percentile_bound(50));
+        assert_eq!(h.p99(), h.percentile_bound(99));
+        assert_eq!(h.quantile(1.0), Some(1000));
+    }
+
+    #[test]
+    fn histogram_quantiles_empty_and_single() {
+        assert!(Histogram::new().p50().is_none());
+        assert!(Histogram::new().p99().is_none());
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), Some(42));
+        assert_eq!(h.p99(), Some(42));
+        assert_eq!(h.quantile(0.0), Some(42));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile out of range")]
+    fn histogram_quantile_rejects_out_of_range() {
+        let mut h = Histogram::new();
+        h.record(1);
+        h.quantile(1.5);
     }
 
     #[test]

@@ -45,6 +45,11 @@ COMMANDS:
                across worker threads; device i streams its RNG from
                (seed, i), so the summary is byte-identical for every
                --threads value (devices/sec footer goes to stderr)
+  serve        streaming defender — synthesize a framed telemetry stream
+               (--events-per-sec, --duration, --seed) and score it online
+               with the incremental sliding-window correlator; stdout and
+               --out are byte-identical per seed for every --threads value
+               (wall-clock events/sec footer goes to stderr)
 
 OPTIONS:
   --paper      paper scale: 51200-entry tables, 4000/12000 thresholds
@@ -63,6 +68,13 @@ OPTIONS:
   --attack SEL (fleet) catalog selector: a zero-based index, a
                service.method label, or 'all' to sweep the 57-vector
                catalog with device i driving vector i mod 57 (default)
+               (serve) tap the selected vector on a simulated device and
+               use its measured IPC→JGR delay as the stream's attack
+               timing (default: the synthetic 500µs profile)
+  --events-per-sec R
+               (serve) sustained call arrival rate (default 10000)
+  --duration S (serve) virtual stream length in seconds, fractions ok
+               (default 1.0)
   --path-insensitive
                (lint) disable the per-branch predicate reading: no
                JGRE004 error-path findings, no proven-bounded drops —
@@ -88,6 +100,8 @@ struct Options {
     threads: Option<usize>,
     devices: u64,
     attack: Option<String>,
+    events_per_sec: u64,
+    duration_secs: f64,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -278,6 +292,74 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
                 summary.devices, secs, rate, config.threads
             );
         }
+        "serve" => {
+            let mut source = jgre_core::sim::source::SourceConfig {
+                seed: scale.seed,
+                events_per_sec: options.events_per_sec,
+                duration: jgre_core::sim::SimDuration::from_micros(
+                    (options.duration_secs * 1e6) as u64,
+                ),
+                ..jgre_core::sim::source::SourceConfig::default()
+            };
+            match options.attack.as_deref() {
+                None | Some("all") => {}
+                Some(selector) => {
+                    let spec = jgre_corpus::AospSpec::android_6_0_1();
+                    let Some((_, vector)) =
+                        jgre_core::attack::AttackVector::resolve(&spec, selector)
+                    else {
+                        return Err(format!(
+                            "unknown attack selector: {selector} (use a catalog index or a \
+                             service.method label)"
+                        ));
+                    };
+                    // Tap the vector on a simulated device and drive the
+                    // synthetic stream with its measured timing signature.
+                    let tap = jgre_core::tap_attack_events(scale, &vector, 40);
+                    match tap.characteristic_delay() {
+                        Some(delay) => source.attack_delay = delay,
+                        None => {
+                            return Err(format!(
+                                "attack {selector} produced no IPC→JGR pairs to profile"
+                            ))
+                        }
+                    }
+                }
+            }
+            let config = jgre_core::defense::stream::ServeConfig {
+                source,
+                threads: options.threads.unwrap_or(1) as u32,
+                ..jgre_core::defense::stream::ServeConfig::default()
+            };
+            let started = std::time::Instant::now();
+            let report = jgre_core::defense::stream::run_serve(&config)
+                .map_err(|e| format!("serve: {e}"))?;
+            let elapsed = started.elapsed();
+            let json = report.to_json();
+            let rendered = report.render();
+            if let Some(path) = &options.out {
+                // The report excludes threads/chunking and wall-clock, so
+                // two runs with the same seed write identical bytes — the
+                // CI smoke job diffs them.
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let txt = path.with_extension("txt");
+                std::fs::write(&txt, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", txt.display()))?;
+            }
+            emit(options, &report, rendered);
+            // Throughput is wall-clock and machine-dependent: stderr only.
+            let secs = elapsed.as_secs_f64();
+            let rate = if secs > 0.0 {
+                report.ingest.offered as f64 / secs
+            } else {
+                0.0
+            };
+            eprintln!(
+                "serve: {} events in {:.2}s — {:.0} events/sec on {} thread(s)",
+                report.ingest.offered, secs, rate, config.threads
+            );
+        }
         "all" => {
             for cmd in [
                 "headline", "table1", "table2", "table3", "table4", "table5", "fig3", "fig4",
@@ -303,6 +385,8 @@ fn main() -> ExitCode {
     let mut threads = None;
     let mut devices = 1_000u64;
     let mut attack = None;
+    let mut events_per_sec = 10_000u64;
+    let mut duration_secs = 1.0f64;
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -329,6 +413,20 @@ fn main() -> ExitCode {
                 Some(selector) => attack = Some(selector.clone()),
                 None => {
                     eprintln!("--attack needs a selector (or 'all')\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--events-per-sec" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) if n > 0 => events_per_sec = n,
+                _ => {
+                    eprintln!("--events-per-sec needs a positive number\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--duration" => match iter.next().map(|s| s.parse::<f64>()) {
+                Some(Ok(s)) if s > 0.0 => duration_secs = s,
+                _ => {
+                    eprintln!("--duration needs a positive number of seconds\n\n{USAGE}");
                     return ExitCode::FAILURE;
                 }
             },
@@ -409,6 +507,8 @@ fn main() -> ExitCode {
             threads,
             devices,
             attack,
+            events_per_sec,
+            duration_secs,
         },
     ) {
         Ok(()) => ExitCode::SUCCESS,

@@ -349,6 +349,84 @@ fn chaos_out_writes_json_and_text_artifacts() {
 }
 
 #[test]
+fn serve_is_byte_identical_across_runs_and_threads() {
+    let dir = std::env::temp_dir().join(format!("jgre-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |name: &str, threads: &str| {
+        let path = dir.join(name);
+        let out = jgre()
+            .args([
+                "serve",
+                "--seed",
+                "3",
+                "--events-per-sec",
+                "4000",
+                "--duration",
+                "0.25",
+                "--threads",
+                threads,
+            ])
+            .arg("--out")
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out, std::fs::read(&path).expect("JSON artifact written"))
+    };
+    let (first, json_a) = run("a.json", "1");
+    let (_, json_b) = run("b.json", "1");
+    let (_, json_threaded) = run("c.json", "4");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(json_a, json_b, "same seed must write identical bytes");
+    assert_eq!(
+        json_a, json_threaded,
+        "thread count must not change the report"
+    );
+
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("jgre serve: seed=3"), "{stdout}");
+    assert!(stdout.contains("drops: backpressure="), "{stdout}");
+    // Wall-clock throughput stays off the reproducible streams.
+    assert!(!stdout.contains("events/sec"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("events/sec"), "{stderr}");
+}
+
+#[test]
+fn serve_attack_selector_profiles_the_vector() {
+    let out = jgre()
+        .args(["serve", "--duration", "0.1", "--attack", "0", "--json"])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let report: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    // The tapped delay replaces the synthetic 500µs default.
+    let delay = report["source"]["attack_delay"]["micros"]
+        .as_u64()
+        .or_else(|| report["source"]["attack_delay"].as_u64());
+    assert!(delay.is_some(), "{report:?}");
+    assert!(
+        !report["verdicts"].as_array().expect("verdicts").is_empty(),
+        "the profiled attack must still be caught"
+    );
+
+    let bad = jgre()
+        .args(["serve", "--attack", "no.suchMethod"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("unknown attack selector"));
+}
+
+#[test]
 fn committed_chaos_golden_matches_a_fresh_run() {
     let out = jgre()
         .args(["chaos", "--seed", "0", "--json"])
