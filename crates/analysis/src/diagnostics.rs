@@ -411,6 +411,23 @@ impl LintReport {
     }
 }
 
+/// The lint's predicted-leak set: the (service, method) pairs the static
+/// pipeline claims an unprivileged app can leak through. System-service
+/// findings only, minus signature-gated rows (unreachable to apps) and
+/// rows whose retention was proven bounded by a branch predicate — the
+/// same filter [`LintReport::accuracy`] is scored on, exposed so dynamic
+/// stages (the fuzzer's differential check) can compare against the exact
+/// set the lint stands behind rather than re-deriving it.
+pub fn predicted_leaks(diagnostics: &[Diagnostic]) -> std::collections::BTreeSet<(String, String)> {
+    diagnostics
+        .iter()
+        .filter(|d| d.kind == ServiceKind::SystemService)
+        .filter(|d| d.rule != RuleId::SignatureGatedRetention)
+        .filter(|d| !d.proven)
+        .map(|d| (d.service.clone(), d.method.clone()))
+        .collect()
+}
+
 /// Scores system-service findings against the spec's vulnerability flags.
 /// Rows whose retention was proven bounded by a branch predicate are not
 /// part of the predicted-leak set: the analysis established their cap
@@ -418,13 +435,7 @@ impl LintReport {
 /// positive for a correct proof.
 fn accuracy(diagnostics: &[Diagnostic], spec: &AospSpec) -> AccuracyReport {
     use std::collections::BTreeSet;
-    let predicted: BTreeSet<(String, String)> = diagnostics
-        .iter()
-        .filter(|d| d.kind == ServiceKind::SystemService)
-        .filter(|d| d.rule != RuleId::SignatureGatedRetention)
-        .filter(|d| !d.proven)
-        .map(|d| (d.service.clone(), d.method.clone()))
-        .collect();
+    let predicted = predicted_leaks(diagnostics);
     let truth: BTreeSet<(String, String)> = spec
         .vulnerable_service_interfaces()
         .map(|(svc, m)| (svc.name.clone(), m.name.clone()))

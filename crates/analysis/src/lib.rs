@@ -61,7 +61,7 @@ pub use dataflow::{
     condense_call_graph, run_wave, solve_forward, Condensation, ForwardAnalysis, Solution,
 };
 pub use detect::{DetectorOutput, RiskyInterface, SiftReason, VulnerableIpcDetector};
-pub use diagnostics::{AccuracyReport, Diagnostic, LintReport, RuleId, Severity};
+pub use diagnostics::{predicted_leaks, AccuracyReport, Diagnostic, LintReport, RuleId, Severity};
 pub use extract_ipc::{IpcMethod, IpcMethodExtractor, ServiceKind};
 pub use extract_jgr::{JgrEntryExtractor, JgrEntrySets, NativePathAnalysis};
 pub use ir::{

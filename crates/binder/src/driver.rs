@@ -134,6 +134,7 @@ pub struct BinderDriver {
     latency: LatencyModel,
     defense_recording: bool,
     faults: Option<FaultLayer>,
+    reject_counts: BTreeMap<&'static str, u64>,
 }
 
 impl BinderDriver {
@@ -152,7 +153,29 @@ impl BinderDriver {
             latency: LatencyModel::default(),
             defense_recording: false,
             faults: None,
+            reject_counts: BTreeMap::new(),
         }
+    }
+
+    /// Counts a fail-stop transaction rejection under `reason` — the
+    /// per-reason accounting folded into the driver's transaction log.
+    /// The framework dispatcher notes every typed `CallStatus` rejection
+    /// here (unknown code, parcel underflow, type confusion, stale
+    /// binder, oversized payload), and the driver notes its own
+    /// [`BinderError::TransactionTooLarge`] refusals, so one ledger
+    /// answers "what did malformed traffic get rejected for".
+    pub fn note_reject(&mut self, reason: &'static str) {
+        *self.reject_counts.entry(reason).or_insert(0) += 1;
+    }
+
+    /// Per-reason rejection counters, keyed by the fail-stop reason label.
+    pub fn reject_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.reject_counts
+    }
+
+    /// Total rejections across all reasons.
+    pub fn total_rejects(&self) -> u64 {
+        self.reject_counts.values().sum()
     }
 
     /// Installs a fault layer; subsequent log appends route through it.
@@ -265,6 +288,7 @@ impl BinderDriver {
         let to_pid = self.node_host(node)?;
         let payload_bytes = parcel.payload_size();
         if payload_bytes > TRANSACTION_BUFFER_LIMIT {
+            self.note_reject("oversized-payload");
             return Err(BinderError::TransactionTooLarge {
                 size: payload_bytes,
                 limit: TRANSACTION_BUFFER_LIMIT,
@@ -605,6 +629,8 @@ mod tests {
             Err(BinderError::TransactionTooLarge { .. })
         ));
         assert!(d.log().is_empty(), "rejected transactions are not logged");
+        assert_eq!(d.reject_counts().get("oversized-payload"), Some(&1));
+        assert_eq!(d.total_rejects(), 1);
         // Just under the limit is fine.
         let mut p = Parcel::new();
         p.write_blob(1024 * 1024 - 64);

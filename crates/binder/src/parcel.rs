@@ -107,6 +107,14 @@ impl Parcel {
         self
     }
 
+    /// Core read: consumes the next value iff it has the expected type.
+    ///
+    /// **Cursor determinism contract.** A failed read — underflow or type
+    /// mismatch — leaves the cursor exactly where it was, so the sequence
+    /// of reads a dispatcher performs is a pure function of the parcel
+    /// bytes: replaying the same parcel always fails at the same position
+    /// with the same error. Fuzz-input replay (`jgre fuzz`) depends on
+    /// this; `partial_read_failure_is_cursor_stable` pins it.
     fn read(&mut self, expected: &'static str) -> Result<&ParcelValue, BinderError> {
         let value = self
             .values
@@ -224,6 +232,32 @@ impl Parcel {
     pub fn rewind(&mut self) {
         self.cursor = 0;
     }
+
+    /// Current read cursor as a value index (`Parcel.dataPosition`, in
+    /// values rather than bytes). Failed reads do not move it.
+    pub fn data_position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Moves the read cursor to value index `pos`, clamped to the parcel
+    /// length (`Parcel.setDataPosition`). Positions past the end simply
+    /// make the next read underflow.
+    pub fn set_data_position(&mut self, pos: usize) {
+        self.cursor = pos.min(self.values.len());
+    }
+
+    /// Values left to read from the cursor to the end.
+    pub fn remaining(&self) -> usize {
+        self.values.len() - self.cursor
+    }
+
+    /// Type name of the next unread value (`"i32"`, `"i64"`, `"string"`,
+    /// `"blob"`, `"strong-binder"`), or `None` at the end. Lets a
+    /// dispatcher consume optional trailing values without burning a
+    /// failed read.
+    pub fn peek_type(&self) -> Option<&'static str> {
+        self.values.get(self.cursor).map(ParcelValue::type_name)
+    }
 }
 
 #[cfg(test)]
@@ -286,5 +320,59 @@ mod tests {
         assert_eq!(p.read_i32().unwrap(), 7);
         p.rewind();
         assert_eq!(p.read_i32().unwrap(), 7);
+    }
+
+    #[test]
+    fn partial_read_failure_is_cursor_stable() {
+        // A dispatcher that replays the same parcel must fail at the same
+        // position with the same error every time — the cursor may not
+        // drift across failed reads.
+        let mut p = Parcel::new();
+        p.write_string("pkg").write_i32(9);
+        assert_eq!(p.read_string().unwrap(), "pkg");
+        let pos = p.data_position();
+        assert_eq!(pos, 1);
+        // Mismatched read: cursor unchanged, repeatable.
+        for _ in 0..3 {
+            assert!(matches!(
+                p.read_strong_binder(),
+                Err(BinderError::ParcelTypeMismatch { .. })
+            ));
+            assert_eq!(p.data_position(), pos);
+        }
+        // The value is still there for the correct type.
+        assert_eq!(p.read_i32().unwrap(), 9);
+        // Underflow: cursor pinned at the end, repeatable.
+        for _ in 0..3 {
+            assert_eq!(p.read_i32(), Err(BinderError::ParcelUnderflow));
+            assert_eq!(p.data_position(), 2);
+        }
+        assert_eq!(p.remaining(), 0);
+    }
+
+    #[test]
+    fn data_position_round_trips() {
+        let mut p = Parcel::new();
+        p.write_i32(1).write_i32(2).write_i32(3);
+        assert_eq!(p.data_position(), 0);
+        p.set_data_position(2);
+        assert_eq!(p.read_i32().unwrap(), 3);
+        // Clamped past the end: next read underflows instead of panicking.
+        p.set_data_position(99);
+        assert_eq!(p.data_position(), 3);
+        assert_eq!(p.read_i32(), Err(BinderError::ParcelUnderflow));
+        p.rewind();
+        assert_eq!(p.remaining(), 3);
+        assert_eq!(p.peek_type(), Some("i32"));
+    }
+
+    #[test]
+    fn peek_type_does_not_consume() {
+        let mut p = Parcel::new();
+        p.write_blob(16);
+        assert_eq!(p.peek_type(), Some("blob"));
+        assert_eq!(p.data_position(), 0);
+        assert_eq!(p.read_blob().unwrap(), 16);
+        assert_eq!(p.peek_type(), None);
     }
 }

@@ -124,6 +124,30 @@ impl DefendedDevice {
         }
         Ok(outcome)
     }
+
+    /// Dispatches one raw Binder transaction (see
+    /// [`System::transact_raw`]) and polls the defender, exactly as
+    /// [`call_service`](Self::call_service) does — the entry point the
+    /// fuzzer drives so detections accumulate under malformed traffic too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FrameworkError`] for bad addressing or permission
+    /// denials; malformed parcels come back as typed rejected outcomes,
+    /// not errors.
+    pub fn transact_raw(
+        &mut self,
+        caller: Uid,
+        service: &str,
+        code: u32,
+        parcel: &mut jgre_binder::Parcel,
+    ) -> Result<CallOutcome, FrameworkError> {
+        let outcome = self.system.transact_raw(caller, service, code, parcel)?;
+        while let Some(detection) = self.defender.poll(&mut self.system) {
+            self.detections.push(detection);
+        }
+        Ok(outcome)
+    }
 }
 
 #[cfg(test)]

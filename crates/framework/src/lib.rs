@@ -47,8 +47,8 @@ pub use lmk::{
 };
 pub use process::{Process, ProcessTable};
 pub use system::{
-    CallOptions, CallOutcome, CallStatus, KillOutcome, ServiceInfo, Supervisor, SupervisorConfig,
-    System, SystemConfig,
+    CallOptions, CallOutcome, CallReject, CallStatus, KillOutcome, ServiceInfo, Supervisor,
+    SupervisorConfig, System, SystemConfig, FIRST_CALL_TRANSACTION,
 };
 
 /// Number of processes running on the stock image before any third-party

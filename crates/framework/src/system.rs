@@ -5,7 +5,7 @@ use std::rc::Rc;
 
 use jgre_art::{ArtError, JgrObserver};
 use jgre_binder::{
-    materialize_strong_binder, BinderDriver, Parcel, ReceivedBinder, ServiceManager,
+    materialize_strong_binder, BinderDriver, BinderError, Parcel, ReceivedBinder, ServiceManager,
 };
 use jgre_corpus::spec::{
     AospSpec, Flaw, JgrBehavior, MethodSpec, Permission, Protection, ProtectionLevel,
@@ -94,6 +94,59 @@ impl CallOptions {
     }
 }
 
+/// Why the hardened dispatch refused a malformed transaction before its
+/// handler ran — the typed fail-stop vocabulary of the fuzz-grade entry
+/// points. Every reason maps to a per-reason counter folded into the
+/// Binder driver's transaction ledger
+/// ([`reject_counts`](jgre_binder::BinderDriver::reject_counts)), so
+/// malformed traffic is accounted for instead of panicking the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CallReject {
+    /// The transaction code addressed no method in the service's table
+    /// (`onTransact` returned `false`).
+    UnknownCode,
+    /// The parcel ended before a required argument — wrong arity or a
+    /// truncated payload.
+    Underflow,
+    /// A required argument carried the wrong parcel type (type-confused
+    /// read).
+    TypeConfusion,
+    /// The strong binder referred to a dead or never-created node — a
+    /// stale or foreign handle smuggled into the parcel.
+    StaleBinder,
+    /// A method that requires a callback binder was dispatched without
+    /// one (structurally unreachable from the public entry points; kept
+    /// as a typed backstop so no code path is a panic).
+    MissingBinder,
+    /// The payload exceeded the 1 MB Binder transaction buffer.
+    OversizedPayload,
+}
+
+impl CallReject {
+    /// Stable label of this rejection reason — the key of the driver's
+    /// per-reason ledger and of the fuzz report's outcome histogram.
+    pub fn reason(self) -> &'static str {
+        match self {
+            CallReject::UnknownCode => "unknown-code",
+            CallReject::Underflow => "parcel-underflow",
+            CallReject::TypeConfusion => "parcel-type-mismatch",
+            CallReject::StaleBinder => "stale-binder",
+            CallReject::MissingBinder => "missing-binder",
+            CallReject::OversizedPayload => "oversized-payload",
+        }
+    }
+
+    /// Maps a `Parcel::read_*` failure onto its rejection reason.
+    fn from_parcel_error(e: &BinderError) -> Self {
+        match e {
+            BinderError::ParcelTypeMismatch { .. } => CallReject::TypeConfusion,
+            // `read_*` only fails with underflow or type mismatch; the
+            // arm below also absorbs any future read error soundly.
+            _ => CallReject::Underflow,
+        }
+    }
+}
+
 /// Terminal status of a dispatched call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CallStatus {
@@ -102,6 +155,10 @@ pub enum CallStatus {
     /// The service's per-process limit rejected the request (Table III
     /// working as intended).
     RejectedByServerLimit,
+    /// The hardened dispatch refused a malformed transaction before the
+    /// handler ran: typed fail-stop, a short constant cost, no JGR
+    /// effect — what `jgre fuzz` inputs hit instead of a panic.
+    Rejected(CallReject),
 }
 
 impl CallStatus {
@@ -109,7 +166,20 @@ impl CallStatus {
     pub fn is_completed(self) -> bool {
         matches!(self, CallStatus::Completed)
     }
+
+    /// The fail-stop reason, when the dispatch rejected the parcel.
+    pub fn reject(self) -> Option<CallReject> {
+        match self {
+            CallStatus::Rejected(r) => Some(r),
+            _ => None,
+        }
+    }
 }
+
+/// The first valid raw transaction code (`IBinder.FIRST_CALL_TRANSACTION`):
+/// [`System::transact_raw`] maps code `FIRST_CALL_TRANSACTION + i` to the
+/// service's `i`-th method in AIDL declaration order.
+pub const FIRST_CALL_TRANSACTION: u32 = 1;
 
 /// Result of one dispatched IPC call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -170,7 +240,25 @@ struct ServiceState {
     host: Pid,
     node: jgre_binder::NodeId,
     methods: BTreeMap<String, MethodSpec>,
+    /// Methods in AIDL declaration order — the positional transaction-code
+    /// table `transact_raw` indexes (code = position + 1).
+    method_order: Vec<String>,
     per_method: BTreeMap<String, MethodState>,
+}
+
+/// Arguments of one server-side dispatch, bundled so `call_service` and
+/// `transact_raw` hand the shared core the same shape.
+struct DispatchRequest<'a> {
+    caller: Uid,
+    caller_pid: Pid,
+    service: &'a str,
+    method: &'a str,
+    mspec: &'a MethodSpec,
+    host: Pid,
+    parcel: &'a mut Parcel,
+    sent_at: SimTime,
+    via_helper: bool,
+    path_variant: u8,
 }
 
 /// The simulated device.
@@ -318,6 +406,7 @@ impl System {
                         .iter()
                         .map(|m| (m.name.clone(), m.clone()))
                         .collect(),
+                    method_order: svc.methods.iter().map(|m| m.name.clone()).collect(),
                     per_method: BTreeMap::new(),
                 },
             );
@@ -374,6 +463,7 @@ impl System {
                             .iter()
                             .map(|m| (m.name.clone(), m.clone()))
                             .collect(),
+                        method_order: svc.methods.iter().map(|m| m.name.clone()).collect(),
                         per_method: BTreeMap::new(),
                     },
                 );
@@ -492,6 +582,61 @@ impl System {
     /// services).
     pub fn service_names(&self) -> Vec<String> {
         self.services.keys().cloned().collect()
+    }
+
+    /// The raw transaction code of `method` on `service` — the inverse of
+    /// the [`transact_raw`](Self::transact_raw) code mapping. `None` if
+    /// the service or method is unknown.
+    pub fn transaction_code(&self, service: &str, method: &str) -> Option<u32> {
+        let svc = self.services.get(service)?;
+        svc.method_order
+            .iter()
+            .position(|m| m == method)
+            .map(|i| i as u32 + FIRST_CALL_TRANSACTION)
+    }
+
+    /// The method a raw transaction code addresses on `service`, or `None`
+    /// if the code falls outside the method table (such a code dispatches
+    /// as [`CallReject::UnknownCode`]).
+    pub fn method_for_code(&self, service: &str, code: u32) -> Option<&str> {
+        let svc = self.services.get(service)?;
+        let idx = code.checked_sub(FIRST_CALL_TRANSACTION)? as usize;
+        svc.method_order.get(idx).map(String::as_str)
+    }
+
+    /// How many IPC methods `service` exposes; valid raw transaction codes
+    /// run `FIRST_CALL_TRANSACTION ..= FIRST_CALL_TRANSACTION + count - 1`.
+    pub fn method_count(&self, service: &str) -> Option<usize> {
+        self.services.get(service).map(|s| s.method_order.len())
+    }
+
+    /// Creates a fresh live Binder node owned by `caller`'s process — what
+    /// a client does before writing a strong binder into a parcel by hand
+    /// (e.g. a fuzzer building a well-formed raw transaction). Launches
+    /// the app's process if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameworkError::UnknownApp`] if `caller` is not installed, or a
+    /// launch failure.
+    pub fn create_callback_node(
+        &mut self,
+        caller: Uid,
+    ) -> Result<jgre_binder::NodeId, FrameworkError> {
+        if !self.apps.contains_key(&caller) {
+            return Err(FrameworkError::UnknownApp);
+        }
+        let pid = match self.apps[&caller].pid {
+            Some(pid) if self.processes.is_healthy(pid) => pid,
+            _ => self.launch_app(caller)?,
+        };
+        Ok(self.driver.create_node(pid, format!("{caller}-cb")))
+    }
+
+    /// Per-reason counts of fail-stop rejections folded into the driver's
+    /// transaction ledger (see [`CallReject::reason`] for the keys).
+    pub fn reject_counts(&self) -> &BTreeMap<&'static str, u64> {
+        self.driver.reject_counts()
     }
 
     /// Registers an observer for JGR traffic on every current and future
@@ -890,16 +1035,14 @@ impl System {
             self.apps[&caller].package.clone()
         };
         let mut parcel = Parcel::new();
-        parcel.write_string(package.clone());
+        parcel.write_string(package);
         let passes_binder = matches!(
             mspec.jgr,
             JgrBehavior::RetainPerCall { .. } | JgrBehavior::Transient | JgrBehavior::ReplaceSingle
         );
-        let mut callback_node = None;
         if passes_binder {
             let cb = self.driver.create_node(caller_pid, format!("{caller}-cb"));
             parcel.write_strong_binder(cb);
-            callback_node = Some(cb);
         }
         if options.payload_extra_bytes > 0 {
             parcel.write_blob(options.payload_extra_bytes);
@@ -914,6 +1057,214 @@ impl System {
             options.path_variant,
         )?;
         let sent_at = record.at;
+
+        // 6-7. Server side: unmarshal and run the handler. The framework
+        // marshalled the parcel above so every read succeeds; `transact_raw`
+        // feeds the same core arbitrary parcels and exercises the typed
+        // rejections instead.
+        self.dispatch_parcel(DispatchRequest {
+            caller,
+            caller_pid,
+            service,
+            method,
+            mspec: &mspec,
+            host,
+            parcel: &mut parcel,
+            sent_at,
+            via_helper: options.via_helper,
+            path_variant: options.path_variant,
+        })
+    }
+
+    /// Dispatches one **raw** Binder transaction, the attacker-grade entry
+    /// point `jgre fuzz` drives: `code` addresses the method positionally
+    /// (`FIRST_CALL_TRANSACTION + index` in AIDL declaration order) and
+    /// `parcel` is delivered to the server exactly as provided — no
+    /// framework marshalling, no helper-class mediation. Whatever shape the
+    /// parcel claims is what the server-side unmarshalling must survive:
+    /// every malformed input (unknown code, wrong arity, type-confused
+    /// read, stale/foreign binder, oversized blob, truncated payload) is a
+    /// typed [`CallStatus::Rejected`] outcome counted per reason in the
+    /// driver's ledger — never a panic, never an abort.
+    ///
+    /// The permission check still runs (it is enforced server-side at the
+    /// Binder boundary; raw transactions cannot skip it), and a read
+    /// failure leaves the parcel cursor exactly at the failing position
+    /// (see `Parcel`'s cursor determinism contract), so a replayed fuzz
+    /// input is byte-stable.
+    ///
+    /// # Errors
+    ///
+    /// Addressing errors that in Android would fail before reaching the
+    /// server surface as [`FrameworkError`]s, exactly as in
+    /// [`call_service`](Self::call_service): `UnknownApp`,
+    /// `UnknownService`, `ServiceDead`, `PermissionDenied`, `Binder`.
+    pub fn transact_raw(
+        &mut self,
+        caller: Uid,
+        service: &str,
+        code: u32,
+        parcel: &mut Parcel,
+    ) -> Result<CallOutcome, FrameworkError> {
+        if !self.apps.contains_key(&caller) {
+            return Err(FrameworkError::UnknownApp);
+        }
+        let caller_pid = match self.apps[&caller].pid {
+            Some(pid) if self.processes.is_healthy(pid) => pid,
+            _ => self.launch_app(caller)?,
+        };
+        let (node, host, iface, method) = {
+            let svc = self
+                .services
+                .get(service)
+                .ok_or_else(|| FrameworkError::UnknownService(service.to_owned()))?;
+            let method = code
+                .checked_sub(FIRST_CALL_TRANSACTION)
+                .and_then(|i| svc.method_order.get(i as usize))
+                .cloned();
+            (svc.node, svc.host, svc.interface.clone(), method)
+        };
+        if !self.processes.is_healthy(host) {
+            return Err(FrameworkError::ServiceDead);
+        }
+        let Some(method) = method else {
+            // Unknown transaction code: the kernel cannot know the code is
+            // bad, so the driver still routes and logs the transaction;
+            // the server's `onTransact` then returns false.
+            let label = format!("#{code}");
+            let sent_at = match self
+                .driver
+                .record_transaction_on_path(caller_pid, caller, node, &iface, &label, parcel, 0)
+            {
+                Ok(record) => record.at,
+                Err(BinderError::TransactionTooLarge { .. }) => {
+                    // The driver already counted "oversized-payload".
+                    let at = self.clock.now();
+                    return Ok(self.rejected_outcome(host, at, CallReject::OversizedPayload));
+                }
+                Err(e) => return Err(FrameworkError::Binder(e)),
+            };
+            return Ok(self.reject_call(host, sent_at, CallReject::UnknownCode));
+        };
+        let mspec = self.services[service].methods[&method].clone();
+
+        // Permission check at the Binder boundary (server-side; raw
+        // transactions cannot skip it).
+        if let Some(p) = mspec.permission {
+            let allowed = match p.level() {
+                ProtectionLevel::Signature => !caller.is_app(),
+                _ => self.apps[&caller].granted.contains(&p),
+            };
+            if !allowed {
+                return Err(FrameworkError::PermissionDenied { permission: p });
+            }
+        }
+
+        let sent_at = match self
+            .driver
+            .record_transaction_on_path(caller_pid, caller, node, &iface, &method, parcel, 0)
+        {
+            Ok(record) => record.at,
+            Err(BinderError::TransactionTooLarge { .. }) => {
+                // The driver already counted "oversized-payload".
+                let at = self.clock.now();
+                return Ok(self.rejected_outcome(host, at, CallReject::OversizedPayload));
+            }
+            Err(e) => return Err(FrameworkError::Binder(e)),
+        };
+        self.dispatch_parcel(DispatchRequest {
+            caller,
+            caller_pid,
+            service,
+            method: &method,
+            mspec: &mspec,
+            host,
+            parcel,
+            sent_at,
+            via_helper: false,
+            path_variant: 0,
+        })
+    }
+
+    /// Fail-stop rejection of a malformed transaction: counts the reason
+    /// in the driver's ledger, then charges the short bail-out cost.
+    fn reject_call(&mut self, host: Pid, sent_at: SimTime, reject: CallReject) -> CallOutcome {
+        self.driver.note_reject(reject.reason());
+        self.rejected_outcome(host, sent_at, reject)
+    }
+
+    /// The rejected [`CallOutcome`] shape shared by every fail-stop path:
+    /// a short constant cost (the server bails out before the handler
+    /// body), no JGR effect, no abort.
+    fn rejected_outcome(&mut self, host: Pid, sent_at: SimTime, reject: CallReject) -> CallOutcome {
+        let cost = SimDuration::from_micros(self.rng.jitter(150, 50));
+        self.clock.advance(cost);
+        CallOutcome {
+            status: CallStatus::Rejected(reject),
+            sent_at,
+            exec_time: cost,
+            jgr_created: 0,
+            host_jgr_count: self.jgr_count(host).unwrap_or(0),
+            host_aborted: false,
+        }
+    }
+
+    /// The server-side dispatch core shared by [`call_service`] and
+    /// [`transact_raw`]: unmarshals the parcel with `Parcel::read_*`
+    /// (every failure a typed [`CallReject`], never a panic), applies the
+    /// per-process limit, and runs the handler.
+    ///
+    /// [`call_service`]: Self::call_service
+    /// [`transact_raw`]: Self::transact_raw
+    fn dispatch_parcel(&mut self, req: DispatchRequest<'_>) -> Result<CallOutcome, FrameworkError> {
+        let DispatchRequest {
+            caller,
+            caller_pid,
+            service,
+            method,
+            mspec,
+            host,
+            parcel,
+            sent_at,
+            via_helper,
+            path_variant,
+        } = req;
+
+        // Server-side unmarshal. The wire format is: calling package
+        // (string), then — for methods that take a client callback — a
+        // strong binder, then an optional trailing payload blob. Anything
+        // that deviates is rejected fail-stop with a typed reason before
+        // any bookkeeping mutates, so malformed traffic has no JGR effect
+        // and cannot abort the host.
+        parcel.rewind();
+        let package = match parcel.read_string() {
+            Ok(p) => p,
+            Err(e) => {
+                return Ok(self.reject_call(host, sent_at, CallReject::from_parcel_error(&e)))
+            }
+        };
+        let passes_binder = matches!(
+            mspec.jgr,
+            JgrBehavior::RetainPerCall { .. } | JgrBehavior::Transient | JgrBehavior::ReplaceSingle
+        );
+        let callback_node = if passes_binder {
+            match parcel.read_strong_binder() {
+                Ok(cb) if self.driver.is_alive(cb) => Some(cb),
+                // A dead or never-created node: linking a death recipient
+                // to it would fail, so the server refuses the callback.
+                Ok(_) => return Ok(self.reject_call(host, sent_at, CallReject::StaleBinder)),
+                Err(e) => {
+                    return Ok(self.reject_call(host, sent_at, CallReject::from_parcel_error(&e)))
+                }
+            }
+        } else {
+            None
+        };
+        // Optional trailing payload padding; further trailing values are
+        // ignored, as android.os.Parcel ignores unread data.
+        if parcel.peek_type() == Some("blob") {
+            let _ = parcel.read_blob();
+        }
 
         // 6. Server-side per-process limit (Table III).
         let total_retained = {
@@ -980,7 +1331,7 @@ impl System {
         // never share a timestamp with the caller's *next* transaction.
         // Alternate execution paths (§VI) run different code before the
         // registration, shifting the path's Delay constant.
-        let path_delay = mspec.cost.delay_us + options.path_variant as u64 * 2_500;
+        let path_delay = mspec.cost.delay_us + path_variant as u64 * 2_500;
         let pre_jgr = (path_delay + delta).min(nominal.saturating_sub(1));
         self.clock.advance(SimDuration::from_micros(pre_jgr));
 
@@ -988,7 +1339,14 @@ impl System {
         let mut host_aborted = false;
         match mspec.jgr {
             JgrBehavior::RetainPerCall { grefs_per_call } => {
-                let node = callback_node.expect("retaining methods receive a binder");
+                // The unmarshal step rejected any parcel without a live
+                // binder, so the node is present here; the `else` is a
+                // typed fail-stop backstop (it replaces an `expect`), so
+                // no dispatch path can panic the simulator.
+                let Some(node) = callback_node else {
+                    self.exit_handler_frame(host, handler_frame);
+                    return Ok(self.reject_call(host, sent_at, CallReject::MissingBinder));
+                };
                 for _ in 0..grefs_per_call.max(1) {
                     match self.materialize_and_retain(service, method, caller_pid, host, node) {
                         Ok(()) => jgr_created += 1,
@@ -1048,7 +1406,7 @@ impl System {
         self.clock
             .advance(SimDuration::from_micros(nominal.saturating_sub(pre_jgr)));
 
-        if options.via_helper {
+        if via_helper {
             if let Protection::HelperThreshold { .. } = &mspec.protection {
                 *self
                     .helper_counts
@@ -1964,5 +2322,172 @@ mod tests {
             late.exec_time,
             first.exec_time
         );
+    }
+
+    // -- raw dispatch hardening (the surface `jgre fuzz` drives) ----------
+
+    /// Builds the parcel the framework would marshal for a retaining
+    /// method: package string, then a live callback binder.
+    fn well_formed_parcel(system: &mut System, app: Uid) -> Parcel {
+        let cb = system.create_callback_node(app).unwrap();
+        let mut parcel = Parcel::new();
+        parcel.write_string("com.example");
+        parcel.write_strong_binder(cb);
+        parcel
+    }
+
+    #[test]
+    fn transact_raw_well_formed_matches_call_service() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let code = system
+            .transaction_code("clipboard", "addPrimaryClipChangedListener")
+            .unwrap();
+        assert_eq!(
+            system.method_for_code("clipboard", code),
+            Some("addPrimaryClipChangedListener")
+        );
+        let mut parcel = well_formed_parcel(&mut system, app);
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut parcel)
+            .unwrap();
+        assert_eq!(outcome.status, CallStatus::Completed);
+        assert_eq!(outcome.jgr_created, 1);
+        assert_eq!(
+            system.retained_entries("clipboard", "addPrimaryClipChangedListener"),
+            1
+        );
+    }
+
+    #[test]
+    fn transact_raw_rejects_unknown_code() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let count = system.method_count("clipboard").unwrap() as u32;
+        let mut parcel = well_formed_parcel(&mut system, app);
+        let outcome = system
+            .transact_raw(
+                app,
+                "clipboard",
+                FIRST_CALL_TRANSACTION + count,
+                &mut parcel,
+            )
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::UnknownCode));
+        assert_eq!(outcome.jgr_created, 0);
+        assert!(!outcome.host_aborted);
+        // Code 0 sits below FIRST_CALL_TRANSACTION and is equally unknown.
+        parcel.rewind();
+        let outcome = system
+            .transact_raw(app, "clipboard", 0, &mut parcel)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::UnknownCode));
+        assert_eq!(system.reject_counts().get("unknown-code"), Some(&2));
+    }
+
+    #[test]
+    fn transact_raw_rejects_truncated_and_type_confused_parcels() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let code = system
+            .transaction_code("clipboard", "addPrimaryClipChangedListener")
+            .unwrap();
+
+        // Empty parcel: the package string read underflows.
+        let mut empty = Parcel::new();
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut empty)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::Underflow));
+
+        // Wrong-arity: package present, required binder missing.
+        let mut no_binder = Parcel::new();
+        no_binder.write_string("com.example");
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut no_binder)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::Underflow));
+
+        // Type confusion: an i32 where the package string belongs.
+        let mut confused = Parcel::new();
+        confused.write_i32(7).write_i64(9);
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut confused)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::TypeConfusion));
+
+        // Nothing reached a handler; no JGR was created, nothing retained.
+        assert_eq!(
+            system.retained_entries("clipboard", "addPrimaryClipChangedListener"),
+            0
+        );
+        assert_eq!(system.reject_counts().get("parcel-underflow"), Some(&2));
+        assert_eq!(system.reject_counts().get("parcel-type-mismatch"), Some(&1));
+    }
+
+    #[test]
+    fn transact_raw_rejects_stale_and_foreign_binders() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let code = system
+            .transaction_code("clipboard", "addPrimaryClipChangedListener")
+            .unwrap();
+        // A NodeId the driver never handed out: foreign handle.
+        let mut parcel = Parcel::new();
+        parcel.write_string("com.example");
+        parcel.write_strong_binder(jgre_binder::NodeId::new(0));
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut parcel)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::StaleBinder));
+        assert_eq!(system.reject_counts().get("stale-binder"), Some(&1));
+    }
+
+    #[test]
+    fn transact_raw_rejects_oversized_payload() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let code = system
+            .transaction_code("clipboard", "addPrimaryClipChangedListener")
+            .unwrap();
+        let mut parcel = well_formed_parcel(&mut system, app);
+        parcel.write_blob(2 * 1024 * 1024);
+        let outcome = system
+            .transact_raw(app, "clipboard", code, &mut parcel)
+            .unwrap();
+        assert_eq!(outcome.status.reject(), Some(CallReject::OversizedPayload));
+        assert_eq!(system.reject_counts().get("oversized-payload"), Some(&1));
+    }
+
+    #[test]
+    fn transact_raw_enforces_permissions() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let code = system.transaction_code("power", "acquireWakeLock").unwrap();
+        let mut parcel = well_formed_parcel(&mut system, app);
+        let err = system
+            .transact_raw(app, "power", code, &mut parcel)
+            .unwrap_err();
+        assert!(matches!(err, FrameworkError::PermissionDenied { .. }));
+    }
+
+    #[test]
+    fn rejected_transactions_never_mutate_jgr_state() {
+        let mut system = System::boot(0);
+        let app = system.install_app("com.example", []);
+        let before = system.system_server_jgr_count();
+        let code = system
+            .transaction_code("clipboard", "addPrimaryClipChangedListener")
+            .unwrap();
+        for _ in 0..50 {
+            let mut empty = Parcel::new();
+            let outcome = system
+                .transact_raw(app, "clipboard", code, &mut empty)
+                .unwrap();
+            assert!(outcome.status.reject().is_some());
+        }
+        let ss = system.system_server_pid();
+        system.gc_process(ss);
+        assert_eq!(system.system_server_jgr_count(), before);
     }
 }

@@ -185,3 +185,106 @@ proptest! {
         }
     }
 }
+
+/// One arbitrary value a fuzzer-style caller writes into a raw parcel.
+#[derive(Debug, Clone)]
+enum RawOp {
+    /// An arbitrary string (occasionally the `"android"` spoof).
+    Str(String),
+    /// A 32-bit integer.
+    I32(i32),
+    /// A 64-bit integer.
+    I64(i64),
+    /// An opaque blob, up to 2 MB (past the 1 MB transaction buffer).
+    Blob(usize),
+    /// A live callback binder, freshly created by the caller.
+    LiveBinder,
+    /// A raw `NodeId` the driver never issued.
+    ForgedBinder(u64),
+}
+
+fn raw_op_strategy() -> impl Strategy<Value = RawOp> {
+    prop_oneof![
+        3 => "[a-z.]{0,24}".prop_map(RawOp::Str),
+        1 => Just(RawOp::Str("android".to_owned())),
+        2 => any::<i32>().prop_map(RawOp::I32),
+        2 => any::<i64>().prop_map(RawOp::I64),
+        2 => (0usize..2 * 1024 * 1024).prop_map(RawOp::Blob),
+        2 => Just(RawOp::LiveBinder),
+        2 => any::<u64>().prop_map(RawOp::ForgedBinder),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hardened dispatch is total: no transaction code and no parcel
+    /// shape can panic it. Every raw transaction lands on a completed
+    /// call, a server-limit rejection, a typed `CallStatus::Rejected`
+    /// fail-stop, or a typed `FrameworkError` — and every typed
+    /// rejection is tallied in the driver's per-reason ledger.
+    #[test]
+    fn arbitrary_raw_transactions_never_panic_dispatch(
+        txns in proptest::collection::vec(
+            (
+                any::<usize>(),
+                any::<u32>(),
+                proptest::collection::vec(raw_op_strategy(), 0..6),
+            ),
+            1..40,
+        )
+    ) {
+        let mut system = System::boot_with(SystemConfig {
+            seed: 4242,
+            jgr_capacity: Some(100_000),
+            ..SystemConfig::default()
+        });
+        let app = system.install_app("com.raw", []);
+        let services = system.service_names();
+        let mut typed_rejections = 0u64;
+        for (svc_pick, code, ops) in txns {
+            let service = services[svc_pick % services.len()].clone();
+            let mut parcel = jgre_binder::Parcel::new();
+            for op in ops {
+                match op {
+                    RawOp::Str(s) => {
+                        parcel.write_string(s);
+                    }
+                    RawOp::I32(v) => {
+                        parcel.write_i32(v);
+                    }
+                    RawOp::I64(v) => {
+                        parcel.write_i64(v);
+                    }
+                    RawOp::Blob(size) => {
+                        parcel.write_blob(size);
+                    }
+                    RawOp::LiveBinder => {
+                        let node = system
+                            .create_callback_node(app)
+                            .expect("installed app can create callbacks");
+                        parcel.write_strong_binder(node);
+                    }
+                    RawOp::ForgedBinder(raw) => {
+                        parcel.write_strong_binder(jgre_binder::NodeId::new(raw));
+                    }
+                }
+            }
+            match system.transact_raw(app, &service, code, &mut parcel) {
+                Ok(outcome) => {
+                    prop_assert!(!outcome.host_aborted, "raw txn aborted the host");
+                    if outcome.status.reject().is_some() {
+                        typed_rejections += 1;
+                    }
+                }
+                Err(FrameworkError::PermissionDenied { .. } | FrameworkError::ServiceDead) => {}
+                Err(e) => return Err(TestCaseError::fail(format!("untyped failure: {e}"))),
+            }
+        }
+        let ledger_total: u64 = system.reject_counts().values().sum();
+        prop_assert!(
+            ledger_total >= typed_rejections,
+            "driver ledger undercounts typed rejections: {ledger_total} < {typed_rejections}"
+        );
+    }
+}

@@ -45,6 +45,14 @@ COMMANDS:
                across worker threads; device i streams its RNG from
                (seed, i), so the summary is byte-identical for every
                --threads value (devices/sec footer goes to stderr)
+  fuzz         coverage-guided Parcel fuzzer — mutate transaction codes
+               and parcel payloads (wrong arity, type confusion, stale
+               binders, oversized blobs, truncation) against the raw
+               dispatch of every registered service; GC-verified leak
+               findings are delta-debug minimized and cross-checked
+               against the static lint (differential section); the JSON
+               report is byte-identical for every --threads value
+               (execs/sec + findings/sec footer goes to stderr)
   serve        streaming defender — synthesize a framed telemetry stream
                (--events-per-sec, --duration, --seed) and score it online
                with the incremental sliding-window correlator; stdout and
@@ -71,6 +79,15 @@ OPTIONS:
                (serve) tap the selected vector on a simulated device and
                use its measured IPC→JGR delay as the stream's attack
                timing (default: the synthetic 500µs profile)
+  --iters N    (fuzz) transaction budget across the whole surface,
+               split per service proportionally to method count
+               (default 320000 — enough for a full probe sweep plus a
+               mutation tail; small budgets truncate the sweep)
+  --attack-surface SEL
+               (fuzz) all | sdk | hidden — which slice of the IPC
+               surface to sweep: everything, only permission-gated or
+               protection-wrapped methods, or only unmediated ones
+               (default all)
   --events-per-sec R
                (serve) sustained call arrival rate (default 10000)
   --duration S (serve) virtual stream length in seconds, fractions ok
@@ -84,8 +101,9 @@ OPTIONS:
                jgr-corrupt, clock-jitter, kill-fail, kill-respawn,
                defender-crash
                (default: all; fault-free baselines always run)
-  --out PATH   (chaos, fleet) write the result as JSON to PATH and the
-               rendered table next to it as PATH with a .txt extension
+  --out PATH   (chaos, fleet, fuzz) write the result as JSON to PATH and
+               the rendered table next to it as PATH with a .txt
+               extension
   --list-cells (chaos) print the cell ids the matrix would run, one per
                line, without running anything (honors --fault)
 ";
@@ -102,6 +120,8 @@ struct Options {
     attack: Option<String>,
     events_per_sec: u64,
     duration_secs: f64,
+    iters: u64,
+    attack_surface: jgre_fuzz::AttackSurface,
 }
 
 fn emit<T: serde::Serialize>(options: &Options, data: &T, rendered: String) {
@@ -292,6 +312,57 @@ fn run(command: &str, options: &Options) -> Result<(), String> {
                 summary.devices, secs, rate, config.threads
             );
         }
+        "fuzz" => {
+            let config = jgre_fuzz::FuzzConfig {
+                seed: scale.seed,
+                iters: options.iters,
+                threads: options.threads.unwrap_or(1),
+                attack_surface: options.attack_surface,
+                scale,
+                services: None,
+            };
+            let started = std::time::Instant::now();
+            let report = jgre_fuzz::run_fuzz(&config);
+            let fuzz_elapsed = started.elapsed();
+            // Differential stage: cross-check the dynamic findings
+            // against the static lint, replaying lint-only predictions.
+            let spec = jgre_corpus::AospSpec::android_6_0_1();
+            let model = jgre_corpus::CodeModel::synthesize(&spec);
+            let lint = jgre_analysis::LintReport::generate_with(&model, &spec, &options.analysis);
+            let diff = jgre_fuzz::differential(&report, &lint.diagnostics, scale, config.seed);
+            let artifact = jgre_fuzz::FuzzArtifact {
+                fuzz: report,
+                differential: diff,
+            };
+            let json = artifact.to_json();
+            let rendered = artifact.render();
+            if let Some(path) = &options.out {
+                // The report excludes threads and wall-clock, so two runs
+                // with the same seed write identical bytes — the CI smoke
+                // job diffs them.
+                std::fs::write(path, &json)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                let txt = path.with_extension("txt");
+                std::fs::write(&txt, &rendered)
+                    .map_err(|e| format!("writing {}: {e}", txt.display()))?;
+            }
+            emit(options, &artifact, rendered);
+            // Throughput is wall-clock and machine-dependent: stderr only.
+            let secs = fuzz_elapsed.as_secs_f64();
+            let total_execs = artifact.fuzz.execs + artifact.fuzz.minimize_execs;
+            let (exec_rate, finding_rate) = if secs > 0.0 {
+                (
+                    total_execs as f64 / secs,
+                    artifact.fuzz.findings.len() as f64 / secs,
+                )
+            } else {
+                (0.0, 0.0)
+            };
+            eprintln!(
+                "fuzz: {} execs in {:.2}s — {:.0} execs/sec, {:.2} findings/sec on {} thread(s)",
+                total_execs, secs, exec_rate, finding_rate, config.threads
+            );
+        }
         "serve" => {
             let mut source = jgre_core::sim::source::SourceConfig {
                 seed: scale.seed,
@@ -387,6 +458,8 @@ fn main() -> ExitCode {
     let mut attack = None;
     let mut events_per_sec = 10_000u64;
     let mut duration_secs = 1.0f64;
+    let mut iters = 320_000u64;
+    let mut attack_surface = jgre_fuzz::AttackSurface::All;
     let mut command = None;
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -430,6 +503,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--iters" => match iter.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) => iters = n,
+                _ => {
+                    eprintln!("--iters needs a number\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--attack-surface" => {
+                match iter.next().and_then(|s| jgre_fuzz::AttackSurface::parse(s)) {
+                    Some(surface) => attack_surface = surface,
+                    None => {
+                        eprintln!("--attack-surface needs 'all', 'sdk', or 'hidden'\n\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--json" => json = true,
             "--seed" => match iter.next().map(|s| s.parse::<u64>()) {
                 Some(Ok(seed)) => scale = scale.with_seed(seed),
@@ -509,6 +598,8 @@ fn main() -> ExitCode {
             attack,
             events_per_sec,
             duration_secs,
+            iters,
+            attack_surface,
         },
     ) {
         Ok(()) => ExitCode::SUCCESS,

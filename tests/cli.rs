@@ -444,3 +444,94 @@ fn committed_chaos_golden_matches_a_fresh_run() {
          `jgre chaos --seed 0 --out artifacts/chaos_matrix.json`"
     );
 }
+
+#[test]
+fn fuzz_is_byte_identical_across_runs_and_threads() {
+    let dir = std::env::temp_dir().join(format!("jgre-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |name: &str, threads: &str| {
+        let path = dir.join(name);
+        let out = jgre()
+            .args([
+                "fuzz",
+                "--seed",
+                "7",
+                "--iters",
+                "2000",
+                "--threads",
+                threads,
+            ])
+            .arg("--out")
+            .arg(&path)
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (out, std::fs::read(&path).expect("JSON artifact written"))
+    };
+    let (first, json_a) = run("a.json", "1");
+    let (_, json_b) = run("b.json", "1");
+    let (_, json_threaded) = run("c.json", "4");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(json_a, json_b, "same seed must write identical bytes");
+    assert_eq!(
+        json_a, json_threaded,
+        "thread count must not change the report"
+    );
+
+    let artifact: serde_json::Value = serde_json::from_slice(&json_a).expect("valid JSON artifact");
+    assert_eq!(artifact["fuzz"]["seed"], 7);
+    assert_eq!(artifact["fuzz"]["execs"], 2000);
+    // Hardened dispatch: a smoke-sized mutation storm lands plenty of
+    // typed rejections and never crashes a host.
+    assert_eq!(artifact["fuzz"]["host_aborts"], 0);
+    assert!(
+        artifact["fuzz"]["rejects"]["unknown-code"]
+            .as_u64()
+            .is_some_and(|n| n > 0),
+        "typed rejection ledger is empty"
+    );
+
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("fuzz: seed 7"), "{stdout}");
+    assert!(stdout.contains("differential:"), "{stdout}");
+    // Wall-clock throughput stays off the reproducible streams.
+    assert!(!stdout.contains("execs/sec"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&first.stderr);
+    assert!(stderr.contains("execs/sec"), "{stderr}");
+    assert!(stderr.contains("findings/sec"), "{stderr}");
+}
+
+#[test]
+fn fuzz_attack_surface_selector_restricts_the_sweep() {
+    let out = jgre()
+        .args([
+            "fuzz",
+            "--seed",
+            "7",
+            "--iters",
+            "500",
+            "--attack-surface",
+            "hidden",
+            "--json",
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let artifact: serde_json::Value =
+        serde_json::from_slice(&out.stdout).expect("valid JSON on stdout");
+    assert_eq!(artifact["fuzz"]["attack_surface"], "hidden");
+
+    let bad = jgre()
+        .args(["fuzz", "--attack-surface", "bogus"])
+        .output()
+        .expect("binary runs");
+    assert!(!bad.status.success(), "bogus surface must be rejected");
+}
